@@ -1,0 +1,33 @@
+"""Figure 10: Helmholtz execution time, three configurations x 1-8 nodes.
+
+Paper shape: each node talks only to its neighbours and the competitive
+termination-check update becomes an Allreduce, so "the overall performance
+is nearly linear".  With migratory homes each node quickly owns its rows,
+eliminating steady-state diff traffic.
+"""
+
+from repro.bench import fig10_helmholtz
+from conftest import emit, run_once
+
+NODES = (1, 2, 4, 8)
+
+
+def test_fig10_helmholtz_scaling(benchmark):
+    fd = run_once(
+        benchmark, lambda: fig10_helmholtz(n=256, m=256, max_iters=25, nodes=NODES)
+    )
+    emit(fd)
+    for series in fd.series:
+        t = series.y
+        # time decreases through 4 nodes
+        assert t[1] < t[0]
+        assert t[2] < t[1]
+        # 4-node speedup: near-linear for the 1-thread configs; the
+        # 2Thread-2CPU series starts from an already-halved baseline so its
+        # relative node-scaling is flatter
+        want = 1.7 if series.label == "2Thread-2CPU" else 2.3
+        assert t[0] / t[2] > want, series.label
+    one_one = fd.by_label("1Thread-1CPU").y
+    one_two = fd.by_label("1Thread-2CPU").y
+    # overlap matters most at the largest node count
+    assert one_one[-1] > one_two[-1]

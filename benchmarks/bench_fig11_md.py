@@ -1,0 +1,27 @@
+"""Figure 11: MD execution time, three configurations x 1-8 nodes.
+
+Paper shape: MD's communication pattern resembles Helmholtz but it shares
+less memory and communicates less, "hence, ParADE is scaled well for all
+the configurations".
+"""
+
+from repro.bench import fig11_md
+from conftest import emit, run_once
+
+NODES = (1, 2, 4, 8)
+
+
+def test_fig11_md_scaling(benchmark):
+    fd = run_once(
+        benchmark, lambda: fig11_md(n_particles=256, steps=5, nodes=NODES)
+    )
+    emit(fd)
+    for series in fd.series:
+        t = series.y
+        # all configurations improve from 1 to 8 nodes
+        assert t[-1] < t[0]
+    one_two = fd.by_label("1Thread-2CPU").y
+    assert one_two[0] / one_two[-1] > 2.0  # scales well
+    one_one = fd.by_label("1Thread-1CPU").y
+    # the dedicated communication CPU helps once communication exists
+    assert all(a >= b * 0.999 for a, b in zip(one_one[1:], one_two[1:]))

@@ -1,0 +1,27 @@
+"""Figure 6: `critical` directive overhead, ParADE vs KDSM, 1-8 nodes.
+
+Paper shape: ParADE's hierarchical pthread-lock + Allreduce beats KDSM's
+distributed-lock translation everywhere, and the gap widens with node
+count ("the number of control messages to get locks and the amount of data
+moving around increases with the number of nodes").
+"""
+
+from repro.bench import fig6_critical
+from conftest import emit, run_once
+
+NODES = (1, 2, 4, 8)
+
+
+def test_fig6_critical_parade_vs_kdsm(benchmark):
+    fd = run_once(benchmark, lambda: fig6_critical(nodes=NODES, iters=40))
+    emit(fd)
+    parade = fd.by_label("parade").y
+    kdsm = fd.by_label("kdsm").y
+    # ParADE wins at every node count
+    for p, k in zip(parade, kdsm):
+        assert p < k
+    # the absolute gap widens monotonically with nodes
+    gaps = [k - p for p, k in zip(parade, kdsm)]
+    assert all(g2 > g1 for g1, g2 in zip(gaps, gaps[1:]))
+    # and it is substantial at 8 nodes (paper: order of magnitude)
+    assert kdsm[-1] / parade[-1] > 4

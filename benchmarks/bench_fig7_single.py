@@ -1,0 +1,28 @@
+"""Figure 7: `single` directive overhead, ParADE vs KDSM, 1-8 nodes.
+
+Paper shape: ParADE (earliest thread + Bcast, no inter-node lock, no
+barrier) far below KDSM (lock + shared flag page + barrier); KDSM shows an
+abnormally costly transition at 2 nodes caused by its busy-wait lock
+client.
+"""
+
+from repro.bench import fig7_single
+from conftest import emit, run_once
+
+NODES = (1, 2, 4, 8)
+
+
+def test_fig7_single_parade_vs_kdsm(benchmark):
+    fd = run_once(benchmark, lambda: fig7_single(nodes=NODES, iters=40))
+    emit(fd)
+    parade = fd.by_label("parade").y
+    kdsm = fd.by_label("kdsm").y
+    for p, k in zip(parade, kdsm):
+        assert p < k
+    # ParADE single stays cheap (a Bcast): sub-linear growth in p
+    assert parade[-1] < parade[0] + 40  # microseconds
+    # KDSM's worst *relative* jump is the 1 -> 2 node transition (the
+    # busy-wait anomaly the paper calls out)
+    ratios = [b / a for a, b in zip(kdsm, kdsm[1:])]
+    assert ratios[0] == max(ratios)
+    assert kdsm[-1] / parade[-1] > 10

@@ -1,0 +1,28 @@
+"""Figure 9: NAS EP execution time, three configurations x 1-8 nodes.
+
+Paper shape: "there is little shared memory and communication between
+nodes occurs at the end of the program just once. Hence, it is natural
+that ParADE is highly scalable" — near-linear speedup in every
+configuration; 2Thread-2CPU roughly halves 1Thread-2CPU.
+"""
+
+from repro.bench import fig9_ep
+from conftest import emit, run_once
+
+NODES = (1, 2, 4, 8)
+
+
+def test_fig9_ep_scaling(benchmark):
+    fd = run_once(benchmark, lambda: fig9_ep(klass="T", nodes=NODES))
+    emit(fd)
+    for series in fd.series:
+        t = series.y
+        # monotone decrease with node count
+        assert all(b < a for a, b in zip(t, t[1:]))
+        # near-linear: 8-node speedup at least 6x
+        assert t[0] / t[-1] > 6.0
+    one_t = fd.by_label("1Thread-2CPU").y
+    two_t = fd.by_label("2Thread-2CPU").y
+    # doubling compute threads nearly halves EP's time
+    for a, b in zip(one_t, two_t):
+        assert b < 0.62 * a

@@ -1,0 +1,72 @@
+"""Communication-substrate microbenchmarks (§5.3 context).
+
+Latency of the MPI subset's primitives on the simulated cLAN: round-trip
+p2p, Bcast and Allreduce versus node count.  These are the building blocks
+whose costs drive every ParADE translation decision.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.testing import build_cluster, build_comm, run_all
+
+
+def _pingpong(iters=20, nbytes=8):
+    cluster = build_cluster(2)
+    _cts, comm = build_comm(cluster)
+
+    def rank0(rc):
+        for i in range(iters):
+            yield from rc.send(b"x" * nbytes, 1, tag=i)
+            yield from rc.recv(source=1, tag=i)
+
+    def rank1(rc):
+        for i in range(iters):
+            v = yield from rc.recv(source=0, tag=i)
+            yield from rc.send(v, 0, tag=i)
+
+    run_all(cluster, [rank0(comm.rank(0)), rank1(comm.rank(1))])
+    return cluster.sim.now / iters / 2  # one-way
+
+
+def _collective_latency(kind, p, iters=10):
+    cluster = build_cluster(p)
+    _cts, comm = build_comm(cluster)
+
+    def main(rc):
+        for _ in range(iters):
+            if kind == "bcast":
+                yield from rc.bcast(1.0, root=0)
+            else:
+                yield from rc.allreduce(1.0)
+
+    run_all(cluster, [main(comm.rank(r)) for r in range(p)])
+    return cluster.sim.now / iters
+
+
+def test_p2p_one_way_latency(benchmark):
+    lat = run_once(benchmark, _pingpong)
+    print(f"\none-way 8B latency: {lat*1e6:.2f} us (cLAN VIA)")
+    # paper-era cLAN one-way small-message latency: ~10-20 us
+    assert 5e-6 < lat < 40e-6
+
+
+def test_collectives_scale_logarithmically(benchmark):
+    def run():
+        return {
+            (k, p): _collective_latency(k, p)
+            for k in ("bcast", "allreduce")
+            for p in (2, 4, 8)
+        }
+
+    data = run_once(benchmark, run)
+    print()
+    for (k, p), v in sorted(data.items()):
+        print(f"{k:10s} p={p}: {v*1e6:8.2f} us")
+    for k in ("bcast", "allreduce"):
+        # binomial tree: 3 levels at p=8 vs 1 at p=2 — cost grows with
+        # log2(p), staying well below the 7x of a linear fan-out
+        assert data[(k, 8)] < 4.0 * data[(k, 2)]
+    # allreduce ~ reduce + bcast: costs more than bcast alone
+    for p in (2, 4, 8):
+        assert data[("allreduce", p)] > data[("bcast", p)]

@@ -1,0 +1,31 @@
+"""Shared helpers for the figure benchmarks.
+
+Each ``bench_figN_*`` file regenerates one figure of the paper: it runs the
+corresponding workload sweep once under pytest-benchmark (rounds=1 — the
+simulator is deterministic, so repetition adds nothing), prints the series
+as a table, writes a CSV next to this directory, and asserts the *shape*
+the paper reports (who wins, how the gap moves).  Absolute milliseconds are
+virtual-time outputs of the simulator, not 2003 wall clock.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench import render_table, write_csv
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(fd, benchmark=None):
+    """Print the table and persist the CSV for figure data *fd*."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    print()
+    print(render_table(fd))
+    write_csv(fd, os.path.join(RESULTS_DIR, f"{fd.figure}.csv"))
+    return fd
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

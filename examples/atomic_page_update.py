@@ -1,0 +1,107 @@
+"""The atomic page update problem (§5.1, Figure 4) demonstrated.
+
+A page-based multi-threaded SDSM must install an incoming page while other
+application threads may touch it.  The naive approach — make the
+application mapping writable, copy, re-protect — lets a second thread read
+a half-updated page without faulting.  The paper's four solutions create a
+second access path (file mapping, SysV shm, the mdup() syscall, a forked
+child) so the application mapping stays protected until the copy commits.
+
+This script races a reader against each strategy's page update and then
+prints the per-strategy cost table on the Linux and AIX cost profiles
+(paper: comparable on Linux; file mapping pathological on AIX).
+
+Run:  python examples/atomic_page_update.py
+"""
+
+import numpy as np
+
+from repro.sim import Simulator
+from repro.vm import (
+    AddressSpace,
+    PhysicalMemory,
+    ProtectionFault,
+    PROT_NONE,
+    PROT_READ,
+    STRATEGY_NAMES,
+    strategy_by_name,
+    LINUX_24,
+    AIX_433,
+)
+from repro.vm.strategies import SimpleExecutor
+
+PAGE = 4096
+
+
+def race(strategy_name: str) -> str:
+    """Race a reader against one page update; classify what it observed."""
+    sim = Simulator()
+    phys = PhysicalMemory(1, PAGE)
+    space = AddressSpace(phys)
+    space.map_identity(1, prot=PROT_NONE)
+    strat = strategy_by_name(strategy_name)
+    ex = SimpleExecutor(sim)
+    new_page = b"\xab" * PAGE
+    outcome = []
+
+    def updater():
+        yield from strat.update_page(ex, space, 0, new_page, PROT_READ)
+
+    def reader():
+        while True:
+            try:
+                space.check_range(0, PAGE, write=False)
+            except ProtectionFault:
+                yield sim.timeout(1e-7)  # would block in TRANSIENT/BLOCKED
+                continue
+            data = np.frombuffer(space.read(0, PAGE), dtype=np.uint8)
+            if data[0] != 0xAB:
+                yield sim.timeout(1e-7)
+                continue
+            torn = data[-1] != 0xAB
+            outcome.append("TORN READ (race!)" if torn else "consistent")
+            return
+
+    sim.process(updater())
+    sim.process(reader())
+    sim.run()
+    return outcome[0]
+
+
+def steady_cost(strategy_name: str, profile) -> float:
+    sim = Simulator()
+    phys = PhysicalMemory(1, PAGE)
+    space = AddressSpace(phys)
+    space.map_identity(1, prot=PROT_NONE)
+    strat = strategy_by_name(strategy_name, profile=profile)
+    ex = SimpleExecutor(sim)
+    page = b"\x01" * PAGE
+    marks = []
+
+    def run():
+        for _ in range(11):
+            space.protect(0, PROT_NONE)
+            yield from strat.update_page(ex, space, 0, page, PROT_READ)
+            marks.append(sim.now)
+
+    sim.process(run())
+    sim.run()
+    return (marks[-1] - marks[0]) / 10 * 1e6  # us per update
+
+
+def main():
+    print(f"{'strategy':>14} {'reader observes':>20} {'linux us/upd':>14} {'aix us/upd':>12}")
+    print("-" * 64)
+    for name in STRATEGY_NAMES:
+        print(
+            f"{name:>14} {race(name):>20} "
+            f"{steady_cost(name, LINUX_24):>14.2f} {steady_cost(name, AIX_433):>12.2f}"
+        )
+    print()
+    print("naive opens the protection window early -> torn reads;")
+    print("the four dual-mapping methods are race-free and, on Linux,")
+    print("cost about the same; on AIX 4.3.3 file mapping is pathological.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""NAS kernels on the simulated cluster: EP and CG (§6.2 of the paper).
+
+Runs each kernel under the paper's three execution configurations on 1-8
+nodes, validates numerics against the sequential references (and, for EP,
+against the published NPB class sums), and prints the scaling tables that
+correspond to Figures 8 and 9.
+
+Run:  python examples/nas_kernels.py [--class S]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.apps import cg, ep
+from repro.runtime import ParadeRuntime, ALL_EXEC_CONFIGS
+
+NODES = (1, 2, 4, 8)
+
+
+def run_ep(klass: str):
+    print(f"== NAS EP class {klass} " + "=" * 40)
+    ref = ep.ep_segment(0, 1 << ep.CLASSES[klass])
+    for ec in ALL_EXEC_CONFIGS:
+        times = []
+        for n in NODES:
+            rt = ParadeRuntime(n_nodes=n, exec_config=ec, pool_bytes=1 << 20)
+            res = rt.run(ep.make_program(klass))
+            assert abs(res.value.sx - ref.sx) < 1e-8
+            times.append(res.elapsed * 1e3)
+        row = "".join(f"{t:>12.2f}" for t in times)
+        print(f"{ec.name:>14}: {row}   (ms over nodes {NODES})")
+    if klass in ep.REFERENCE:
+        print(f"verification: sx/sy match published NPB sums: {ref.verify(klass)}")
+    print()
+
+
+def run_cg(klass: str, niter: int):
+    print(f"== NAS CG class {klass} (niter={niter}) " + "=" * 30)
+    matrix = cg.make_matrix(klass)
+    seq = cg.cg_reference(klass, a=matrix, niter=niter)
+    print(f"sequential zeta = {seq.zeta:.13f}")
+    for ec in ALL_EXEC_CONFIGS:
+        times = []
+        for n in NODES:
+            rt = ParadeRuntime(n_nodes=n, exec_config=ec, pool_bytes=1 << 23)
+            res = rt.run(cg.make_program(klass, a=matrix, niter=niter))
+            assert abs(res.value.zeta - seq.zeta) < 1e-9
+            times.append(res.elapsed * 1e3)
+        row = "".join(f"{t:>12.2f}" for t in times)
+        print(f"{ec.name:>14}: {row}   (ms over nodes {NODES})")
+    if klass in cg.REFERENCE_ZETA and niter == cg.CLASSES[klass][3]:
+        print(f"verification: zeta matches published value: {seq.verify()}")
+    print()
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--ep-class", default="T", choices=sorted(ep.CLASSES))
+    ap.add_argument("--cg-class", default="T", choices=sorted(cg.CLASSES))
+    ap.add_argument("--cg-niter", type=int, default=3)
+    args = ap.parse_args()
+    run_ep(args.ep_class)
+    run_cg(args.cg_class, args.cg_niter)
+
+
+if __name__ == "__main__":
+    main()

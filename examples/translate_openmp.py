@@ -1,0 +1,69 @@
+"""The OpenMP translator in action: Figures 2 and 3 of the paper.
+
+Feeds a C program containing the paper's canonical `critical` and `single`
+constructs to both translation backends and prints the generated code side
+by side: the conventional SDSM translation (distributed locks + barriers)
+vs the ParADE hybrid translation (pthread locks + collectives).
+
+Run:  python examples/translate_openmp.py [file.c]
+"""
+
+import sys
+
+from repro.translator import translate
+
+DEMO = """\
+double heavy_work(double v);
+
+void solver(void)
+{
+    int i;
+    double x;
+    double err;
+    double a[4096];
+
+    x = 0.0;
+    err = 0.0;
+    #pragma omp parallel shared(x, err, a) private(i)
+    {
+        /* work-sharing loop with a reduction: ParADE fuses the
+           accumulation into one MPI_Allreduce and drops the barrier */
+        #pragma omp for reduction(+: err)
+        for (i = 0; i < 4096; i++) {
+            err = err + a[i] * a[i];
+        }
+
+        /* analyzable critical on a small scalar: Figure 2 */
+        #pragma omp critical
+        x = x + 1.0;
+
+        /* single initialising a small scalar: Figure 3 */
+        #pragma omp single
+        x = 42.0;
+
+        /* a critical with a function call stays on the SDSM lock path */
+        #pragma omp critical
+        {
+            x = x + heavy_work(x);
+        }
+    }
+}
+"""
+
+
+def main():
+    source = DEMO
+    if len(sys.argv) > 1:
+        with open(sys.argv[1]) as f:
+            source = f.read()
+
+    print("#" * 30, "input OpenMP C", "#" * 30)
+    print(source)
+    for backend, label in (("sdsm", "conventional SDSM translation"),
+                           ("parade", "ParADE hybrid translation")):
+        print("#" * 30, label, "#" * 30)
+        print(translate(source, backend))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Compatibility shim: lets `python setup.py develop` work on toolchains
+without the `wheel` package (PEP 660 editable installs require it)."""
+
+from setuptools import setup
+
+setup()

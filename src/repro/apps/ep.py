@@ -1,0 +1,149 @@
+"""NAS EP kernel (NPB 2.3) — "embarrassingly parallel" (Figure 9).
+
+Generates 2^M pairs of uniform deviates with the NAS LCG, transforms the
+accepted pairs to Gaussians by the Marsaglia polar method, and tallies the
+sums and the annulus counts.  Each thread seeds its own stream segment by
+jump-ahead, so the only inter-node communication is the final reduction —
+the paper's archetype of a workload where ParADE is "highly scalable".
+
+Verification constants are the published NPB reference sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.nas_random import NasRandom, DEFAULT_SEED
+from repro.mpi.ops import SUM
+
+#: NPB class name -> M (number of pairs = 2^M)
+CLASSES: Dict[str, int] = {"T": 16, "S": 24, "W": 25, "A": 28, "B": 30}
+
+#: published reference sums (sx, sy) per class
+REFERENCE: Dict[str, Tuple[float, float]] = {
+    "S": (-3.247834652034740e3, -6.958407078382297e3),
+    "W": (-2.863319731645753e3, -6.320053679109499e3),
+    "A": (-4.295875165629892e3, -1.580732573678431e4),
+}
+
+#: simulator cost model: work units charged per generated pair
+WORK_UNITS_PER_PAIR = 60.0
+
+#: vectorised chunk size (pairs) per compute burst
+CHUNK_PAIRS = 1 << 16
+
+
+@dataclass
+class EpResult:
+    sx: float
+    sy: float
+    counts: np.ndarray
+    n_pairs: int
+
+    def verify(self, klass: str, rtol: float = 1e-8) -> bool:
+        """Check against the published NPB sums (classes S/W/A)."""
+        if klass not in REFERENCE:
+            raise KeyError(f"no reference sums for class {klass!r}")
+        rx, ry = REFERENCE[klass]
+        return (
+            abs(self.sx - rx) <= rtol * abs(rx)
+            and abs(self.sy - ry) <= rtol * abs(ry)
+        )
+
+
+def _tally(u: np.ndarray) -> Tuple[float, float, np.ndarray]:
+    """Tally one chunk of the stream: u holds 2m uniforms (pairs interleaved)."""
+    x = 2.0 * u[0::2] - 1.0
+    y = 2.0 * u[1::2] - 1.0
+    t = x * x + y * y
+    acc = t <= 1.0
+    tt = t[acc]
+    f = np.sqrt(-2.0 * np.log(tt) / tt)
+    gx = x[acc] * f
+    gy = y[acc] * f
+    ik = np.maximum(np.abs(gx), np.abs(gy)).astype(np.int64)
+    counts = np.bincount(ik, minlength=10)[:10].astype(np.float64)
+    return float(gx.sum()), float(gy.sum()), counts
+
+
+def ep_segment(first_pair: int, n_pairs: int, seed: int = DEFAULT_SEED) -> EpResult:
+    """Tally pairs [first_pair, first_pair + n_pairs) of the global stream."""
+    rng = NasRandom(seed)
+    rng.skip(2 * first_pair)
+    sx = sy = 0.0
+    counts = np.zeros(10)
+    remaining = n_pairs
+    while remaining > 0:
+        m = min(CHUNK_PAIRS, remaining)
+        dx, dy, dc = _tally(rng.generate(2 * m))
+        sx += dx
+        sy += dy
+        counts += dc
+        remaining -= m
+    return EpResult(sx, sy, counts, n_pairs)
+
+
+def ep_reference(klass: str = "S", seed: int = DEFAULT_SEED) -> EpResult:
+    """Sequential numpy reference for a whole class."""
+    n = 1 << CLASSES[klass]
+    return ep_segment(0, n, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# OpenMP version for the simulated cluster
+# ----------------------------------------------------------------------
+def make_program(klass: str = "T", seed: int = DEFAULT_SEED):
+    """Build the master program ``program(ctx) -> EpResult``.
+
+    OpenMP shape: one ``parallel`` region; the per-thread tallies are
+    ``reduction(+: sx, sy, q[0..9])`` — exactly the clause ParADE maps to a
+    single merged ``MPI_Allreduce`` (§4.2: multiple reduction variables
+    merged into a structure-type value).
+    """
+    n_pairs = 1 << CLASSES[klass]
+
+    def program(ctx):
+        sx = ctx.shared_scalar("ep_sx")
+        sy = ctx.shared_scalar("ep_sy")
+        q = ctx.shared_array("ep_q", (10,), force_object=(ctx.runtime.mode == "parade"))
+
+        def body(tc, sx, sy, q):
+            lo, hi = tc.for_range(0, n_pairs)
+            local = ep_segment(lo, hi - lo, seed=seed)
+            yield from tc.compute((hi - lo) * WORK_UNITS_PER_PAIR)
+            if tc.runtime.mode == "parade":
+                # merged reduction: (sx, sy, counts-tuple) in ONE collective
+                merged = (local.sx, local.sy, tuple(local.counts.tolist()))
+
+                def inter(part):
+                    total = yield from tc.team.rank_comm.allreduce(part, op=SUM)
+                    tc.scalar(sx).raw_set(total[0])
+                    tc.scalar(sy).raw_set(total[1])
+                    tc.array(q).raw()[:] = np.asarray(total[2])
+                    return total
+
+                yield from tc.team.combining(tc._key("ep_red"), merged, SUM, inter)
+            else:
+                # conventional translation: three lock-guarded accumulations
+                yield from tc.reduce_into(sx, local.sx, SUM)
+                yield from tc.reduce_into(sy, local.sy, SUM)
+                qv = tc.array(q)
+                lock_id = tc.runtime.lock_id_for("ep_q")
+                yield from tc.dsm_node.lock_acquire(lock_id)
+                try:
+                    cur = yield from qv.get()
+                    yield from qv.set(np.asarray(cur) + local.counts)
+                finally:
+                    yield from tc.dsm_node.lock_release(lock_id)
+                yield from tc.barrier()
+
+        yield from ctx.parallel(body, sx, sy, q)
+        final_sx = yield from ctx.scalar(sx).get()
+        final_sy = yield from ctx.scalar(sy).get()
+        counts = yield from ctx.array(q).get()
+        return EpResult(float(final_sx), float(final_sy), np.asarray(counts).copy(), n_pairs)
+
+    return program

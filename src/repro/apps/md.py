@@ -1,0 +1,176 @@
+"""Molecular dynamics (Figure 11) — the openmp.org ``md.f`` sample.
+
+Velocity-Verlet integration of *np* particles in a 3-D box with the
+``sin²`` pair potential of md.f:
+
+    V(d)  = sin²(min(d, π/2))
+    dV(d) = 2 sin(min(d, π/2)) cos(min(d, π/2))
+
+Forces are O(n²); per step the potential and kinetic energies are
+``reduction(+: pot, kin)`` clauses.  Positions are read by every thread
+(page fetches of remote blocks) while velocities/accelerations are written
+only by their owner — "the amount of shared memory and inter-node
+communication of MD is less than that of Helmholtz" (§6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.apps.nas_random import NasRandom
+from repro.mpi.ops import SUM
+
+ND = 3
+BOX = 10.0
+DEFAULT_DT = 1e-4
+MASS = 1.0
+PI2 = np.pi / 2.0
+
+#: work units per particle pair per force evaluation
+WORK_PER_PAIR = 14.0
+
+
+@dataclass
+class MdResult:
+    pos: np.ndarray
+    vel: np.ndarray
+    potential: float
+    kinetic: float
+    steps: int
+
+    @property
+    def energy(self) -> float:
+        return self.potential + self.kinetic
+
+
+def initial_positions(n_particles: int, seed: int = 123456789) -> np.ndarray:
+    """Deterministic initial positions in the box (NAS LCG stream)."""
+    rng = NasRandom(seed)
+    return (BOX * rng.generate(n_particles * ND)).reshape(n_particles, ND)
+
+
+def compute_forces(
+    pos: np.ndarray, vel: np.ndarray, lo: int = 0, hi: Optional[int] = None
+) -> Tuple[np.ndarray, float, float]:
+    """Forces + energy partials for particles [lo, hi) against all others.
+
+    Returns (forces[hi-lo, 3], potential_partial, kinetic_partial) with
+    md.f's convention pot = Σ_i Σ_{j≠i} 0.5 V(d_ij).
+    """
+    n = pos.shape[0]
+    hi = n if hi is None else hi
+    mine = pos[lo:hi]  # (k, 3)
+    # pairwise displacement mine[i] - pos[j]
+    rij = mine[:, None, :] - pos[None, :, :]  # (k, n, 3)
+    d = np.sqrt((rij * rij).sum(axis=2))  # (k, n)
+    # exclude self-interaction
+    for i in range(hi - lo):
+        d[i, lo + i] = np.inf
+    dcap = np.minimum(d, PI2)
+    pot = 0.5 * float((np.sin(dcap) ** 2)[np.isfinite(d)].sum())
+    # force magnitude: -dV/dd = -2 sin cos for d < pi/2, else 0
+    dv = np.where(d < PI2, 2.0 * np.sin(dcap) * np.cos(dcap), 0.0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        scale = np.where(np.isfinite(d) & (d > 0), dv / d, 0.0)
+    forces = -(rij * scale[:, :, None]).sum(axis=1)
+    kin = 0.5 * MASS * float((vel[lo:hi] ** 2).sum())
+    return forces, pot, kin
+
+
+def update(
+    pos: np.ndarray, vel: np.ndarray, acc: np.ndarray, force: np.ndarray, dt: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """md.f velocity-Verlet update; returns new (pos, vel, acc)."""
+    rmass = 1.0 / MASS
+    new_pos = pos + vel * dt + 0.5 * dt * dt * acc
+    new_vel = vel + 0.5 * dt * (force * rmass + acc)
+    new_acc = force * rmass
+    return new_pos, new_vel, new_acc
+
+
+def md_reference(
+    n_particles: int = 64, steps: int = 10, dt: float = DEFAULT_DT, seed: int = 123456789
+) -> MdResult:
+    """Sequential numpy MD."""
+    pos = initial_positions(n_particles, seed)
+    vel = np.zeros_like(pos)
+    acc = np.zeros_like(pos)
+    pot = kin = 0.0
+    for _ in range(steps):
+        force, pot, kin = compute_forces(pos, vel)
+        pos, vel, acc = update(pos, vel, acc, force, dt)
+    return MdResult(pos=pos, vel=vel, potential=pot, kinetic=kin, steps=steps)
+
+
+def make_program(
+    n_particles: int = 64, steps: int = 10, dt: float = DEFAULT_DT, seed: int = 123456789
+):
+    """Master program for the cluster runtime.
+
+    Per step: parallel-for over owned particles computing forces (reads
+    ALL positions → remote page fetches) with ``reduction(+: pot, kin)``,
+    barrier, then the Verlet update of owned rows.
+    """
+    init = initial_positions(n_particles, seed)
+
+    def program(ctx):
+        pos_s = ctx.shared_array("md_pos", (n_particles, ND))
+        vel_s = ctx.shared_array("md_vel", (n_particles, ND))
+        acc_s = ctx.shared_array("md_acc", (n_particles, ND))
+        state = {"pot": 0.0, "kin": 0.0}
+
+        yield from ctx.array(pos_s).set(init)
+
+        def body(tc, pos_s, vel_s, acc_s):
+            pv, vv, av = tc.array(pos_s), tc.array(vel_s), tc.array(acc_s)
+            lo, hi = tc.for_range(0, n_particles)
+            k = hi - lo
+            for _step in range(steps):
+                pos_full = yield from pv.get()
+                pos_full = np.asarray(pos_full).reshape(n_particles, ND)
+                vel_mine = yield from vv.get(lo * ND, hi * ND)
+                vel_mine = np.asarray(vel_mine).reshape(k, ND)
+                # pad a full-shape vel for the helper's slicing convention
+                force, pot_part, kin_part = compute_forces(
+                    pos_full, _padded(vel_mine, lo, n_particles), lo, hi
+                )
+                yield from tc.compute(k * n_particles * WORK_PER_PAIR)
+                pot = yield from tc.reduce_value(pot_part, SUM)
+                kin = yield from tc.reduce_value(kin_part, SUM)
+                # Verlet update of owned rows
+                acc_mine = yield from av.get(lo * ND, hi * ND)
+                acc_mine = np.asarray(acc_mine).reshape(k, ND)
+                new_pos, new_vel, new_acc = update(
+                    pos_full[lo:hi], vel_mine, acc_mine, force, dt
+                )
+                yield from pv.set(new_pos, start=lo * ND)
+                yield from vv.set(new_vel, start=lo * ND)
+                yield from av.set(new_acc, start=lo * ND)
+                yield from tc.compute(k * 12.0)
+                yield from tc.barrier()
+                if tc.tid == 0:
+                    state["pot"], state["kin"] = pot, kin
+
+        yield from ctx.parallel(body, pos_s, vel_s, acc_s)
+        pos = yield from ctx.array(pos_s).get()
+        vel = yield from ctx.array(vel_s).get()
+        return MdResult(
+            pos=np.asarray(pos).reshape(n_particles, ND).copy(),
+            vel=np.asarray(vel).reshape(n_particles, ND).copy(),
+            potential=state["pot"],
+            kinetic=state["kin"],
+            steps=steps,
+        )
+
+    return program
+
+
+def _padded(vel_mine: np.ndarray, lo: int, n: int) -> np.ndarray:
+    """Embed owned velocity rows into a zero full-size array (the kinetic
+    partial only reads rows [lo, hi))."""
+    out = np.zeros((n, ND))
+    out[lo : lo + vel_mine.shape[0]] = vel_mine
+    return out

@@ -1,0 +1,121 @@
+"""The NAS parallel benchmarks pseudorandom stream.
+
+NPB's ``randlc`` is the 46-bit linear congruential generator
+
+    x_{k+1} = a * x_k  mod 2^46,      a = 5^13,  r_k = x_k * 2^-46
+
+The reference implementation works in double-double arithmetic; we use
+exact 64-bit integer arithmetic (a 46-bit modular product fits in uint64
+after the usual 23-bit split) which is bit-identical.
+
+Two idioms the benchmarks need:
+
+* ``ipow46(a, k)`` — O(log k) jump-ahead, so thread *t* can seed itself at
+  stream offset ``k`` without generating the prefix (how NPB parallelises
+  EP);
+* :meth:`NasRandom.generate` — vectorised block generation: seed a lane
+  row of width *L* sequentially, then advance all lanes by ``a^L`` per
+  step, giving the stream in order at numpy speed.
+
+Validated against the published EP class S/W/A reference sums (see
+``tests/apps/test_ep.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: multiplier 5^13
+A = 1220703125
+#: modulus 2^46
+MOD = 1 << 46
+_MASK46 = MOD - 1
+_MASK23 = (1 << 23) - 1
+#: default NPB seed
+DEFAULT_SEED = 271828183
+#: 2^-46 as float
+R46 = 0.5 ** 46
+
+
+def _modmul46_scalar(a: int, x: int) -> int:
+    """Exact (a * x) mod 2^46 for Python ints."""
+    return (a * x) & _MASK46
+
+
+def randlc(x: int, a: int = A) -> tuple:
+    """One step of the NAS LCG: returns (new_state, uniform double)."""
+    x = _modmul46_scalar(a, x)
+    return x, x * R46
+
+
+def ipow46(a: int, exponent: int) -> int:
+    """a^exponent mod 2^46 (jump-ahead multiplier)."""
+    if exponent < 0:
+        raise ValueError("negative exponent")
+    return pow(a, exponent, MOD)
+
+
+def _modmul46_vec(a: int, x: np.ndarray) -> np.ndarray:
+    """Vectorised (a * x[i]) mod 2^46 on uint64 lanes.
+
+    Split both operands at 23 bits; every partial product stays below
+    2^47, so uint64 arithmetic is exact.
+    """
+    a = int(a)
+    a1 = a >> 23
+    a2 = a & _MASK23
+    x1 = x >> np.uint64(23)
+    x2 = x & np.uint64(_MASK23)
+    t = (np.uint64(a1) * x2 + np.uint64(a2) * x1) & np.uint64(_MASK23)
+    return ((t << np.uint64(23)) + np.uint64(a2) * x2) & np.uint64(_MASK46)
+
+
+class NasRandom:
+    """Stateful NAS stream with vectorised bulk generation.
+
+    >>> rng = NasRandom()
+    >>> u = rng.generate(4)          # the first four randlc outputs
+    """
+
+    #: lane width for block generation
+    LANES = 4096
+
+    def __init__(self, seed: int = DEFAULT_SEED, a: int = A):
+        if not (0 < seed < MOD):
+            raise ValueError(f"seed must be in (0, 2^46), got {seed}")
+        self.a = int(a)
+        self.state = int(seed)
+
+    def skip(self, n: int) -> None:
+        """Advance the stream by *n* outputs in O(log n)."""
+        if n < 0:
+            raise ValueError("cannot skip backwards")
+        self.state = _modmul46_scalar(ipow46(self.a, n), self.state)
+
+    def next(self) -> float:
+        self.state, value = randlc(self.state, self.a)
+        return value
+
+    def generate(self, n: int) -> np.ndarray:
+        """The next *n* uniform doubles in stream order (vectorised)."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        lanes = min(self.LANES, n)
+        # Seed the first row sequentially: x_1 .. x_lanes.
+        row = np.empty(lanes, dtype=np.uint64)
+        s = self.state
+        for j in range(lanes):
+            s = _modmul46_scalar(self.a, s)
+            row[j] = s
+        rows = (n + lanes - 1) // lanes
+        out = np.empty(rows * lanes, dtype=np.uint64)
+        out[:lanes] = row
+        step = ipow46(self.a, lanes)
+        for r in range(1, rows):
+            row = _modmul46_vec(step, row)
+            out[r * lanes : (r + 1) * lanes] = row
+        # new scalar state = x_n
+        self.state = int(out[n - 1])
+        return out[:n].astype(np.float64) * R46

@@ -1,0 +1,49 @@
+"""Benchmark harness: regenerates every figure of the paper's evaluation.
+
+* :mod:`repro.bench.microbench` — EPCC-style directive-overhead
+  measurements (Figures 6 and 7: ``critical`` and ``single`` on ParADE vs
+  KDSM over 1–8 nodes);
+* :mod:`repro.bench.figures`    — application execution-time series
+  (Figures 8–11: CG, EP, Helmholtz, MD under the three §6.2
+  configurations), the §5.1 atomic-page-update comparison, and the
+  ablations DESIGN.md calls out (home migration, hybrid threshold,
+  interconnect);
+* :mod:`repro.bench.report`     — plain-text tables and CSV output.
+"""
+
+from repro.bench.microbench import (
+    measure_critical_overhead,
+    measure_single_overhead,
+    sweep_directive,
+)
+from repro.bench.figures import (
+    Series,
+    FigureData,
+    fig6_critical,
+    fig7_single,
+    fig8_cg,
+    fig9_ep,
+    fig10_helmholtz,
+    fig11_md,
+    atomic_update_comparison,
+    run_app_over_configs,
+)
+from repro.bench.report import render_table, write_csv
+
+__all__ = [
+    "measure_critical_overhead",
+    "measure_single_overhead",
+    "sweep_directive",
+    "Series",
+    "FigureData",
+    "fig6_critical",
+    "fig7_single",
+    "fig8_cg",
+    "fig9_ep",
+    "fig10_helmholtz",
+    "fig11_md",
+    "atomic_update_comparison",
+    "run_app_over_configs",
+    "render_table",
+    "write_csv",
+]

@@ -1,0 +1,69 @@
+"""Adaptive configuration search (§8 future work).
+
+"As the experimental results show, more processors do not always give
+better performance.  For a given problem, we want to find the best
+configuration ...  We may dynamically determine a proper number of
+processors and threads."  This module does that over the simulator: run
+the workload across a configuration grid and return the fastest, together
+with the full measurement table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime import ParadeRuntime, ExecConfig, ALL_EXEC_CONFIGS
+
+
+@dataclass(frozen=True)
+class TunePoint:
+    n_nodes: int
+    exec_config: ExecConfig
+    elapsed: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.n_nodes}n/{self.exec_config.name}"
+
+
+@dataclass
+class TuneResult:
+    best: TunePoint
+    points: List[TunePoint]
+
+    def table(self) -> str:
+        lines = [f"{'configuration':>24} {'time (ms)':>12}"]
+        for p in sorted(self.points, key=lambda p: p.elapsed):
+            marker = "  <-- best" if p == self.best else ""
+            lines.append(f"{p.label:>24} {p.elapsed * 1e3:>12.3f}{marker}")
+        return "\n".join(lines)
+
+
+def find_best_config(
+    program_factory: Callable[[], Callable],
+    nodes: Sequence[int] = (1, 2, 4, 8),
+    exec_configs: Sequence[ExecConfig] = ALL_EXEC_CONFIGS,
+    mode: str = "parade",
+    pool_bytes: int = 1 << 22,
+    cluster_config=None,
+) -> TuneResult:
+    """Sweep (node count × exec config) and pick the fastest run.
+
+    *program_factory* is invoked once per run (programs are not reusable
+    across runtimes).  Deterministic: one run per point suffices.
+    """
+    points: List[TunePoint] = []
+    for ec in exec_configs:
+        for n in nodes:
+            rt = ParadeRuntime(
+                n_nodes=n,
+                exec_config=ec,
+                mode=mode,
+                pool_bytes=pool_bytes,
+                cluster_config=cluster_config,
+            )
+            res = rt.run(program_factory())
+            points.append(TunePoint(n, ec, res.elapsed))
+    best = min(points, key=lambda p: p.elapsed)
+    return TuneResult(best=best, points=points)

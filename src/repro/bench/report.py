@@ -1,0 +1,39 @@
+"""Plain-text tables and CSV output for figure data."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Optional
+
+from repro.bench.figures import FigureData
+
+
+def render_table(fd: FigureData, precision: int = 3) -> str:
+    """ASCII table: one row per x value, one column per series."""
+    labels = [s.label for s in fd.series]
+    xs = fd.series[0].x if fd.series else []
+    width = max(12, max((len(l) for l in labels), default=12) + 2)
+
+    out = io.StringIO()
+    out.write(f"# {fd.figure}: {fd.title}\n")
+    out.write(f"# y = {fd.ylabel}\n")
+    header = f"{fd.xlabel:>10}" + "".join(f"{l:>{width}}" for l in labels)
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for i, x in enumerate(xs):
+        row = f"{x:>10}"
+        for s in fd.series:
+            row += f"{s.y[i]:>{width}.{precision}f}"
+        out.write(row + "\n")
+    return out.getvalue()
+
+
+def write_csv(fd: FigureData, path: str) -> None:
+    """CSV: columns x, <series...> (one row per x)."""
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow([fd.xlabel] + [s.label for s in fd.series])
+        xs = fd.series[0].x if fd.series else []
+        for i, x in enumerate(xs):
+            writer.writerow([x] + [s.y[i] for s in fd.series])

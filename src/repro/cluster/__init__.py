@@ -1,0 +1,34 @@
+"""Simulated SMP-cluster hardware substrate.
+
+Models the paper's testbed: 8 dual-Pentium-III nodes (4×550 MHz + 4×600 MHz,
+512 MB each) behind a 3Com Fast Ethernet switch and a Giganet cLAN VIA
+switch.  Nodes expose CPUs as capacity-limited resources, NICs serialise
+transmission, and interconnects are ``(latency, bandwidth, CPU overhead)``
+cost models — the three knobs that produce every performance effect the
+paper measures (lock round-trips, page-fetch latency, overlap of
+communication with computation).
+"""
+
+from repro.cluster.interconnect import (
+    Interconnect,
+    GIGANET_VIA,
+    FAST_ETHERNET_TCP,
+    interconnect_by_name,
+)
+from repro.cluster.config import ClusterConfig, PAPER_CPU_MHZ
+from repro.cluster.node import Node
+from repro.cluster.network import Network, Message
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "Interconnect",
+    "GIGANET_VIA",
+    "FAST_ETHERNET_TCP",
+    "interconnect_by_name",
+    "ClusterConfig",
+    "PAPER_CPU_MHZ",
+    "Node",
+    "Network",
+    "Message",
+    "Cluster",
+]

@@ -1,0 +1,49 @@
+"""Top-level cluster object: simulator + nodes + network."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim import Simulator
+from repro.cluster.config import ClusterConfig
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+
+
+class Cluster:
+    """A simulated SMP cluster ready to host runtimes.
+
+    >>> cluster = Cluster(ClusterConfig(n_nodes=4))
+    >>> cluster.n_nodes
+    4
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None, sim: Optional[Simulator] = None):
+        self.config = config or ClusterConfig()
+        self.sim = sim or Simulator()
+        self.nodes: List[Node] = [
+            Node(self.sim, i, self.config) for i in range(self.config.n_nodes)
+        ]
+        self.network = Network(self.sim, self.nodes, self.config.interconnect)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.config.n_nodes
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate hardware-level statistics."""
+        return {
+            "virtual_time": self.sim.now,
+            "total_messages": self.network.total_messages,
+            "total_bytes": self.network.total_bytes,
+            "events_processed": self.sim.events_processed,
+            "compute_time": sum(n.compute_time for n in self.nodes),
+            "overhead_time": sum(n.overhead_time for n in self.nodes),
+        }

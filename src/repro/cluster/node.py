@@ -1,0 +1,49 @@
+"""A simulated SMP node: CPUs, NIC, inbox."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim import Resource, Store
+
+
+class Node:
+    """One SMP node of the cluster.
+
+    * ``cpus`` — capacity-limited resource (capacity = cores);
+    * ``nic_tx`` — transmit engine, capacity 1, serialises outgoing frames;
+    * ``inbox`` — FIFO of delivered :class:`~repro.cluster.network.Message`
+      objects, drained by the node's communication thread.
+    """
+
+    def __init__(self, sim, node_id: int, config):
+        self.sim = sim
+        self.id = node_id
+        self.config = config
+        self.cpus = Resource(sim, capacity=config.cpus_per_node, name=f"cpu[{node_id}]")
+        self.nic_tx = Resource(sim, capacity=1, name=f"nic[{node_id}]")
+        self.inbox = Store(sim, name=f"inbox[{node_id}]")
+        self.speed_factor = config.speed_factor(node_id)
+        # statistics
+        self.msgs_sent = 0
+        self.msgs_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.compute_time = 0.0
+        self.overhead_time = 0.0
+
+    def compute(self, work_units: float, priority: int = 0):
+        """Generator: occupy one CPU for *work_units* of application work."""
+        seconds = self.config.compute_seconds(work_units, self.id)
+        self.compute_time += seconds
+        yield from self.cpus.execute(seconds, priority=priority)
+
+    def busy_cpu(self, seconds: float, priority: int = 0):
+        """Generator: occupy one CPU for raw protocol-overhead *seconds*
+        (already expressed in wall time; scaled by CPU speed)."""
+        scaled = seconds / self.speed_factor
+        self.overhead_time += scaled
+        yield from self.cpus.execute(scaled, priority=priority)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Node {self.id} ({self.config.cpu_mhz[self.id]} MHz x{self.config.cpus_per_node})>"

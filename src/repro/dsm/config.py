@@ -1,0 +1,45 @@
+"""DSM protocol configuration: ParADE variant vs the KDSM baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DsmConfig:
+    """Protocol knobs distinguishing the two systems the paper compares."""
+
+    name: str = "parade"
+    #: shared-memory pool size (bytes); paper's CG run used 64 MB
+    pool_bytes: int = 32 * 1024 * 1024
+    #: migrate a page's home to its sole modifier at barriers (§5.2.2)
+    home_migration: bool = True
+    #: lock clients busy-wait (spin on CPU) instead of blocking — the KDSM
+    #: behaviour behind the 2-node `single` anomaly (§6.1)
+    lock_spin: bool = False
+    #: CPU burst per spin poll while busy-waiting (seconds)
+    spin_slice: float = 5e-6
+    #: atomic page update strategy name (see repro.vm.strategies)
+    update_strategy: str = "sysv-shm"
+    #: OS cost profile name: "linux-2.4" or "aix-4.3.3"
+    os_profile: str = "linux-2.4"
+    #: homeless (TreadMarks-style) LRC: writers retain diffs, faulting nodes
+    #: pull missing diffs from every writer (§5.2.2 argues home-based is
+    #: preferable — this flag exists to measure that claim).  Barrier
+    #: synchronisation only; the lock protocol requires a home directory.
+    homeless: bool = False
+
+    def replace(self, **kw) -> "DsmConfig":
+        from dataclasses import replace as _replace
+
+        return _replace(self, **kw)
+
+
+#: ParADE's DSM: HLRC + migratory home, blocking locks.
+PARADE_DSM = DsmConfig(name="parade", home_migration=True, lock_spin=False)
+
+#: KDSM baseline [20]: conventional HLRC, fixed home, busy-wait lock client.
+KDSM_BASELINE = DsmConfig(name="kdsm", home_migration=False, lock_spin=True)
+
+#: Homeless LRC ablation: TreadMarks-style diff pulling, no home directory.
+HOMELESS_LRC = DsmConfig(name="homeless", home_migration=False, homeless=True)

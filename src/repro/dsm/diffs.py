@@ -1,0 +1,59 @@
+"""Twin/diff machinery of lazy release consistency.
+
+A non-home writer *twins* a page at its first write fault (pristine copy).
+At a release point the runtime *diffs* the current page against the twin —
+a run-length list of changed byte ranges — and ships only the diff to the
+home, which merges it.  Homes never need twins: all diffs land in their
+copy (§5.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+#: a diff is a list of (offset, bytes) runs
+Diff = List[Tuple[int, bytes]]
+
+#: wire overhead per run (offset + length fields)
+RUN_HEADER_BYTES = 8
+
+
+def make_twin(page: np.ndarray) -> np.ndarray:
+    """Pristine copy of a page taken at the first write fault."""
+    return page.copy()
+
+
+def compute_diff(twin: np.ndarray, current: np.ndarray) -> Diff:
+    """Run-length encode the byte positions where *current* != *twin*."""
+    if twin.shape != current.shape:
+        raise ValueError("twin/page shape mismatch")
+    changed = twin != current
+    if not changed.any():
+        return []
+    idx = np.flatnonzero(changed)
+    # split into maximal consecutive runs
+    breaks = np.flatnonzero(np.diff(idx) > 1)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [len(idx) - 1]))
+    diff: Diff = []
+    for s, e in zip(starts, ends):
+        lo = int(idx[s])
+        hi = int(idx[e]) + 1
+        diff.append((lo, current[lo:hi].tobytes()))
+    return diff
+
+
+def apply_diff(page: np.ndarray, diff: Diff) -> None:
+    """Merge a diff into *page* in place."""
+    n = page.shape[0]
+    for off, data in diff:
+        if off < 0 or off + len(data) > n:
+            raise ValueError(f"diff run [{off}, {off + len(data)}) outside page")
+        page[off : off + len(data)] = np.frombuffer(data, dtype=np.uint8)
+
+
+def diff_nbytes(diff: Diff) -> int:
+    """Bytes a diff occupies on the wire."""
+    return sum(RUN_HEADER_BYTES + len(data) for _off, data in diff)

@@ -1,0 +1,604 @@
+"""Per-node DSM protocol agent.
+
+One :class:`DsmNode` per cluster node.  It owns the node's copy of the
+shared pool (physical frames + application address space), the page table
+(states, homes, twins), and implements:
+
+* the SIGSEGV-style fault loop: protection-checked access, fault, fetch
+  from home, atomic page update via a :mod:`repro.vm` strategy, retry —
+  with the TRANSIENT/BLOCKED multithread states of Figure 5;
+* barrier arrival/departure with flushed diffs, piggybacked write notices
+  and home migration (ParADE §5.2.2), the master role living on node 0;
+* the distributed lock manager + client with lazy-release-consistency
+  write-notice piggybacking; the client optionally busy-waits (KDSM).
+
+All public operations are generators called from application-thread
+processes; protocol service for *incoming* messages runs on the node's
+communication thread (see :class:`repro.mpi.CommThread`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.sim import Event
+from repro.vm import (
+    AddressSpace,
+    PhysicalMemory,
+    ProtectionFault,
+    PROT_NONE,
+    PROT_READ,
+    PROT_RW,
+    strategy_by_name,
+    LINUX_24,
+    AIX_433,
+)
+from repro.dsm.states import PageState, IllegalTransition, is_valid_transition
+from repro.dsm.diffs import make_twin, compute_diff, apply_diff, diff_nbytes
+from repro.dsm.writenotice import WriteNotice, NoticeLog, merge_notices
+
+#: page kinds: HLRC-managed vs object-granularity (update protocol) regions
+KIND_HLRC = 0
+KIND_OBJECT = 1
+
+_OS_PROFILES = {"linux-2.4": LINUX_24, "aix-4.3.3": AIX_433}
+
+
+@dataclass
+class DsmNodeStats:
+    read_faults: int = 0
+    write_faults: int = 0
+    pages_fetched: int = 0
+    fetch_bytes: int = 0
+    diffs_sent: int = 0
+    diff_bytes: int = 0
+    twins_created: int = 0
+    barriers: int = 0
+    lock_acquires: int = 0
+    lock_remote_acquires: int = 0
+    invalidations: int = 0
+    blocked_waits: int = 0
+    fetches_served: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class DsmNode:
+    """DSM agent for one node; see module docstring."""
+
+    def __init__(self, system, node, dsm_config):
+        self.system = system
+        self.node = node
+        self.id = node.id
+        self.sim = node.sim
+        self.net = system.cluster.network
+        self.config = dsm_config
+        self.cluster_config = system.cluster.config
+        self.page_size = self.cluster_config.page_size
+        self.n_pages = system.n_pages
+        n_nodes = system.cluster.n_nodes
+
+        # Node-local copy of the shared pool, behind a protected app mapping.
+        self.phys = PhysicalMemory(self.n_pages, self.page_size)
+        self.space = AddressSpace(self.phys, name=f"app[{self.id}]")
+        self.space.map_identity(self.n_pages, prot=PROT_NONE)
+
+        profile = _OS_PROFILES[dsm_config.os_profile]
+        self.strategy = strategy_by_name(dsm_config.update_strategy, profile=profile)
+
+        # Page table: master starts READ_ONLY everywhere, others INVALID
+        # (§5.2.3).  Homeless mode: every copy starts valid (all zeros are
+        # trivially coherent) and writers retain diffs for pulling.
+        all_valid = dsm_config.homeless
+        initial = PageState.READ_ONLY if (self.id == 0 or all_valid) else PageState.INVALID
+        self.state: List[PageState] = [initial] * self.n_pages
+        self.home: List[int] = [0] * self.n_pages
+        self.kind: List[int] = [KIND_HLRC] * self.n_pages
+        if self.id == 0 or all_valid:
+            for p in range(self.n_pages):
+                self.space.protect(p, PROT_READ)
+        #: homeless mode: (page, barrier epoch) -> retained diff
+        self._diff_log: Dict[tuple, list] = {}
+        #: homeless mode: page -> ordered [(epoch, [writers])] still unapplied
+        self._missing: Dict[int, List[tuple]] = {}
+
+        self.twins: Dict[int, np.ndarray] = {}
+        self.dirty: Set[int] = set()
+        self._page_waiters: Dict[int, Event] = {}
+
+        # request/response plumbing
+        self._pending: Dict[int, Event] = {}
+        self._req_seq = itertools.count()
+
+        # barrier state (master only uses _bar_arrivals)
+        self._barrier_epoch = 0
+        self._bar_arrivals: Dict[int, Dict[int, List[WriteNotice]]] = {}
+        self._bar_wait: Dict[int, Event] = {}
+
+        # lock manager state (for locks homed here)
+        self._lock_holder: Dict[int, Optional[int]] = {}
+        self._lock_queue: Dict[int, List] = {}
+        self._lock_log: Dict[int, NoticeLog] = {}
+        self._interval = 0
+        # notices this node created in lock intervals since the last barrier;
+        # they must still propagate at the next barrier (HLRC would carry
+        # them in vector timestamps — we piggyback them conservatively)
+        self._notices_since_barrier: List[WriteNotice] = []
+
+        self.stats = DsmNodeStats()
+
+    # -- strategy executor interface -----------------------------------
+    def busy(self, seconds: float):
+        yield from self.node.busy_cpu(seconds)
+
+    # ------------------------------------------------------------------
+    # page table helpers
+    # ------------------------------------------------------------------
+    def _set_state(self, page: int, new: PageState, reason: str) -> None:
+        old = self.state[page]
+        if old == new:
+            return
+        if not is_valid_transition(old, new, reason):
+            raise IllegalTransition(page, old, new, reason)
+        self.state[page] = new
+
+    def page_range(self, addr: int, size: int) -> range:
+        if size <= 0:
+            return range(0)
+        first = addr // self.page_size
+        last = (addr + size - 1) // self.page_size
+        if last >= self.n_pages:
+            raise IndexError(
+                f"shared access [{addr}, {addr+size}) beyond pool of {self.n_pages} pages"
+            )
+        return range(first, last + 1)
+
+    def mark_object_pages(self, addr: int, size: int) -> None:
+        """Move pages to object-granularity management: always valid on all
+        nodes, kept consistent by runtime collectives (entry-consistency
+        style, §5.2.1).  Called at allocation time by the runtime."""
+        for p in self.page_range(addr, size):
+            self.kind[p] = KIND_OBJECT
+            self.state[p] = PageState.READ_ONLY
+            self.space.protect(p, PROT_RW)
+            self.twins.pop(p, None)
+            self.dirty.discard(p)
+
+    def raw_view(self, addr: int, size: int) -> np.ndarray:
+        """Unchecked zero-copy view of the local pool (uint8)."""
+        return self.phys.buffer[addr : addr + size]
+
+    # ------------------------------------------------------------------
+    # application access API (generators)
+    # ------------------------------------------------------------------
+    def acquire_read(self, addr: int, size: int):
+        """Ensure every page in [addr, addr+size) is locally readable."""
+        while True:
+            try:
+                self.space.check_range(addr, size, write=False)
+                return
+            except ProtectionFault as fault:
+                yield from self._service_fault(fault.vpage, is_write=False)
+
+    def acquire_write(self, addr: int, size: int):
+        """Ensure pages are writable; creates twins and marks them dirty."""
+        while True:
+            try:
+                self.space.check_range(addr, size, write=True)
+                return
+            except ProtectionFault as fault:
+                yield from self._service_fault(fault.vpage, is_write=True)
+
+    def read(self, addr: int, size: int):
+        """Protection-checked read returning bytes (faults as needed)."""
+        yield from self.acquire_read(addr, size)
+        return self.space.read(addr, size)
+
+    def write(self, addr: int, data: bytes):
+        """Protection-checked write (faults as needed)."""
+        data = bytes(data)
+        yield from self.acquire_write(addr, len(data))
+        self.space.write(addr, data)
+
+    # ------------------------------------------------------------------
+    # fault service (the SIGSEGV handler, §5.2.3)
+    # ------------------------------------------------------------------
+    def _service_fault(self, page: int, is_write: bool):
+        while True:
+            st = self.state[page]
+            if st == PageState.READ_ONLY:
+                if not is_write:
+                    return  # raced with another thread's completed fetch
+                # write fault on a valid clean page
+                self.stats.write_faults += 1
+                yield from self.busy(self.cluster_config.fault_overhead)
+                if self.config.homeless or self.home[page] != self.id:
+                    self._make_twin(page)
+                yield from self.busy(self.cluster_config.mprotect_overhead)
+                self._set_state(page, PageState.DIRTY, "write-fault")
+                self.space.protect(page, PROT_RW)
+                self.dirty.add(page)
+                return
+            if st == PageState.DIRTY:
+                return  # already writable
+            if st == PageState.INVALID:
+                if is_write:
+                    self.stats.write_faults += 1
+                else:
+                    self.stats.read_faults += 1
+                self._set_state(page, PageState.TRANSIENT, "fault")
+                yield from self.busy(self.cluster_config.fault_overhead)
+                final_prot = PROT_RW if is_write else PROT_READ
+                if self.config.homeless:
+                    yield from self._pull_missing_diffs(page)
+                    yield from self.busy(self.cluster_config.mprotect_overhead)
+                    self.space.protect(page, final_prot)
+                else:
+                    data = yield from self._fetch_page(page)
+                    yield from self.strategy.update_page(self, self.space, page, data, final_prot)
+                if is_write:
+                    if self.config.homeless or self.home[page] != self.id:
+                        self._make_twin(page)
+                    self.dirty.add(page)
+                    self._set_state(page, PageState.DIRTY, "update-done-write")
+                else:
+                    self._set_state(page, PageState.READ_ONLY, "update-done")
+                waiter = self._page_waiters.pop(page, None)
+                if waiter is not None:
+                    waiter.succeed()
+                return
+            # TRANSIENT or BLOCKED: some other thread is updating; wait.
+            self.stats.blocked_waits += 1
+            if st == PageState.TRANSIENT:
+                self._set_state(page, PageState.BLOCKED, "concurrent-fault")
+            waiter = self._page_waiters.get(page)
+            if waiter is None:
+                waiter = Event(self.sim, name=f"pagewait[{self.id}:{page}]")
+                self._page_waiters[page] = waiter
+            yield waiter
+            # loop: re-examine the state (may need to upgrade to write)
+
+    def _make_twin(self, page: int) -> None:
+        self.twins[page] = make_twin(self._page_view(page))
+        self.stats.twins_created += 1
+
+    def _page_view(self, page: int) -> np.ndarray:
+        return self.phys.frame_view(page)
+
+    # ------------------------------------------------------------------
+    # fetch protocol
+    # ------------------------------------------------------------------
+    def _next_req(self) -> int:
+        return next(self._req_seq)
+
+    def _pending_event(self, req_id: int) -> Event:
+        ev = Event(self.sim, name=f"pending[{self.id}:{req_id}]")
+        self._pending[req_id] = ev
+        return ev
+
+    def _resolve(self, req_id: int, value) -> None:
+        ev = self._pending.pop(req_id)
+        ev.succeed(value)
+
+    def _fetch_page(self, page: int):
+        """Request the up-to-date page from its home; returns page bytes."""
+        home = self.home[page]
+        assert home != self.id, f"node {self.id} faulted on page {page} it homes"
+        req_id = self._next_req()
+        ev = self._pending_event(req_id)
+        yield from self.net.send(
+            self.id, home, 8, (page, self.id), tag=("dsm", "fetch", req_id)
+        )
+        data = yield ev
+        self.stats.pages_fetched += 1
+        self.stats.fetch_bytes += len(data)
+        return data
+
+    def _pull_missing_diffs(self, page: int):
+        """Homeless fault service: pull and apply every missing diff, in
+        barrier-epoch order (within an epoch, writers touch disjoint bytes
+        for data-race-free programs, so cross-writer order is free)."""
+        records = self._missing.pop(page, [])
+        view = self._page_view(page)
+        for epoch, writers in sorted(records):
+            for w in writers:
+                req_id = self._next_req()
+                ev = self._pending_event(req_id)
+                yield from self.net.send(
+                    self.id, w, 12, (page, epoch, self.id), tag=("dsm", "dget", req_id)
+                )
+                diff = yield ev
+                self.stats.pages_fetched += 1
+                nb = diff_nbytes(diff)
+                self.stats.fetch_bytes += nb
+                yield from self.busy(self.cluster_config.diff_apply_overhead)
+                apply_diff(view, diff)
+
+    # -- handlers run on the communication thread ------------------------
+    def handle_dsm(self, msg):
+        """Comm-thread handler for the 'dsm' channel."""
+        _chan, kind, req_id = msg.tag
+        if kind == "dget":
+            page, epoch, requester = msg.payload
+            diff = self._diff_log.get((page, epoch), [])
+            self.stats.fetches_served += 1
+            yield from self.net.send(
+                self.id, requester, diff_nbytes(diff), diff, tag=("dsm", "dgetR", req_id)
+            )
+            return
+        if kind == "dgetR":
+            self._resolve(req_id, msg.payload)
+            return
+        if kind == "fetch":
+            page, requester = msg.payload
+            yield from self._serve_fetch(page, requester, req_id)
+        elif kind == "fetchR":
+            self._resolve(req_id, msg.payload)
+        elif kind == "diff":
+            page, diff = msg.payload
+            yield from self._apply_incoming_diff(page, diff)
+            yield from self.net.send(self.id, msg.src, 4, None, tag=("dsm", "diffR", req_id))
+        elif kind == "diffR":
+            self._resolve(req_id, None)
+        else:  # pragma: no cover - protocol corruption guard
+            raise RuntimeError(f"unknown dsm message kind {kind!r}")
+
+    def _serve_fetch(self, page: int, requester: int, req_id: int):
+        if self.home[page] != self.id:
+            # Stale home pointer (should not happen barrier-to-barrier, but
+            # forward for robustness; one extra hop).
+            yield from self.net.send(
+                self.id, self.home[page], 8, (page, requester), tag=("dsm", "fetch", req_id)
+            )
+            return
+        st = self.state[page]
+        assert st in (PageState.READ_ONLY, PageState.DIRTY), (
+            f"home {self.id} of page {page} holds it {st.name}"
+        )
+        self.stats.fetches_served += 1
+        data = self._page_view(page).tobytes()
+        yield from self.net.send(
+            self.id, requester, len(data), data, tag=("dsm", "fetchR", req_id)
+        )
+
+    def _apply_incoming_diff(self, page: int, diff):
+        assert self.home[page] == self.id, (
+            f"diff for page {page} arrived at non-home {self.id}"
+        )
+        yield from self.busy(self.cluster_config.diff_apply_overhead)
+        apply_diff(self._page_view(page), diff)
+
+    # ------------------------------------------------------------------
+    # flush: ship diffs of dirty pages to their homes (release operation)
+    # ------------------------------------------------------------------
+    def _flush_dirty(self, epoch: Optional[int] = None):
+        """Send diffs for all dirty non-home pages; returns write notices
+        for every dirty page.  Diff sends are pipelined, then acks awaited.
+
+        Homeless mode (*epoch* given): diffs are retained locally, keyed by
+        the barrier epoch, for later pulling by faulting nodes."""
+        self._interval += 1
+        notices = [WriteNotice(p, self.id, self._interval) for p in sorted(self.dirty)]
+        if self.config.homeless:
+            assert epoch is not None, "homeless flush requires a barrier epoch"
+            for p in sorted(self.dirty):
+                twin = self.twins.get(p)
+                assert twin is not None, f"dirty page {p} has no twin on {self.id}"
+                yield from self.busy(self.cluster_config.diff_overhead)
+                diff = compute_diff(twin, self._page_view(p))
+                self._diff_log[(p, epoch)] = diff
+            return notices
+        acks = []
+        for p in sorted(self.dirty):
+            if self.home[p] == self.id:
+                continue
+            twin = self.twins.get(p)
+            assert twin is not None, f"dirty non-home page {p} has no twin on {self.id}"
+            yield from self.busy(self.cluster_config.diff_overhead)
+            diff = compute_diff(twin, self._page_view(p))
+            if not diff:
+                continue
+            req_id = self._next_req()
+            acks.append(self._pending_event(req_id))
+            self.stats.diffs_sent += 1
+            nb = diff_nbytes(diff)
+            self.stats.diff_bytes += nb
+            yield from self.net.send(self.id, self.home[p], nb, (p, diff), tag=("dsm", "diff", req_id))
+        for ev in acks:
+            yield ev
+        return notices
+
+    def _close_interval(self) -> None:
+        """After a flush: dirty pages become clean, twins dropped."""
+        for p in self.dirty:
+            self._set_state(p, PageState.READ_ONLY, "flush")
+            self.space.protect(p, PROT_READ)
+            self.twins.pop(p, None)
+        self.dirty.clear()
+
+    def _invalidate(self, page: int) -> None:
+        if self.kind[page] == KIND_OBJECT:
+            return
+        st = self.state[page]
+        if st == PageState.INVALID:
+            return
+        assert st in (PageState.READ_ONLY, PageState.DIRTY), (
+            f"invalidate of page {page} in state {st.name} on node {self.id}"
+        )
+        self._set_state(page, PageState.INVALID, "invalidate")
+        self.space.protect(page, PROT_NONE)
+        self.twins.pop(page, None)
+        self.dirty.discard(page)
+        self.stats.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # barrier (one caller per node per epoch; ParADE §5.2.2)
+    # ------------------------------------------------------------------
+    @property
+    def master_id(self) -> int:
+        return 0
+
+    def barrier(self):
+        """HLRC barrier: flush, send arrival+notices to master, wait for
+        departure carrying invalidations and new homes."""
+        epoch = self._barrier_epoch
+        self._barrier_epoch += 1
+        self.stats.barriers += 1
+
+        flushed = yield from self._flush_dirty(epoch=epoch)
+        self._close_interval()
+        # include notices from lock intervals since the last barrier
+        seen = set()
+        notices = []
+        for wn in self._notices_since_barrier + flushed:
+            key = (wn.page, wn.writer)
+            if key not in seen:
+                seen.add(key)
+                notices.append(wn)
+        self._notices_since_barrier = []
+
+        wait = Event(self.sim, name=f"bardep[{self.id}:{epoch}]")
+        self._bar_wait[epoch] = wait
+        payload = (self.id, notices)
+        nb = 16 + WriteNotice.NBYTES * len(notices)
+        yield from self.net.send(self.id, self.master_id, nb, payload, tag=("bar", "arr", epoch))
+        inval_writers, new_homes = yield wait
+
+        if self.config.homeless:
+            # record which writers' diffs this copy is missing, oldest first
+            for page, writers in sorted(inval_writers.items()):
+                others = writers - {self.id}
+                if others:
+                    self._missing.setdefault(page, []).append((epoch, sorted(others)))
+                    self._invalidate(page)
+            return
+
+        # apply invalidations and the new home directory
+        for page, writers in inval_writers.items():
+            new_home = new_homes.get(page, self.home[page])
+            others = writers - {self.id}
+            if others and new_home != self.id:
+                self._invalidate(page)
+        for page, new_home in new_homes.items():
+            self.home[page] = new_home
+
+    def handle_barrier(self, msg):
+        """Comm-thread handler for the 'bar' channel."""
+        _chan, kind, epoch = msg.tag
+        if kind == "arr":
+            assert self.id == self.master_id
+            node, notices = msg.payload
+            arrivals = self._bar_arrivals.setdefault(epoch, {})
+            arrivals[node] = notices
+            if len(arrivals) == self.system.cluster.n_nodes:
+                yield from self._barrier_release(epoch, arrivals)
+            return
+        if kind == "dep":
+            ev = self._bar_wait.pop(epoch)
+            ev.succeed(msg.payload)
+            return
+        raise RuntimeError(f"unknown barrier message kind {kind!r}")  # pragma: no cover
+        yield  # pragma: no cover
+
+    def _barrier_release(self, epoch: int, arrivals):
+        """Master: merge notices, decide home migration, send departures."""
+        del self._bar_arrivals[epoch]
+        writers_by_page = merge_notices(arrivals)
+        new_homes: Dict[int, int] = {}
+        if self.config.home_migration:
+            for page, writers in writers_by_page.items():
+                old_home = self.home[page]
+                if len(writers) == 1:
+                    (sole,) = tuple(writers)
+                    if sole != old_home:
+                        new_homes[page] = sole
+                        self.system.stats_home_migrations += 1
+                # multiple writers: current home keeps highest priority (§5.2.2)
+        payload = (writers_by_page, new_homes)
+        nb = 16 + 16 * len(writers_by_page) + 8 * len(new_homes)
+        # small CPU cost for the merge itself
+        yield from self.busy(1e-6 + 0.2e-6 * len(writers_by_page))
+        for dst in range(self.system.cluster.n_nodes):
+            yield from self.net.send(self.id, dst, nb, payload, tag=("bar", "dep", epoch))
+
+    # ------------------------------------------------------------------
+    # distributed locks (LRC piggybacking; KDSM-style optional busy-wait)
+    # ------------------------------------------------------------------
+    def lock_manager_of(self, lock_id: int) -> int:
+        return lock_id % self.system.cluster.n_nodes
+
+    def lock_acquire(self, lock_id: int):
+        """Acquire a global lock; applies piggybacked write notices."""
+        if self.config.homeless:
+            raise NotImplementedError(
+                "the homeless-LRC ablation supports barrier synchronisation only"
+            )
+        self.stats.lock_acquires += 1
+        manager = self.lock_manager_of(lock_id)
+        req_id = self._next_req()
+        ev = self._pending_event(req_id)
+        if manager != self.id:
+            self.stats.lock_remote_acquires += 1
+        yield from self.net.send(
+            self.id, manager, 12, (lock_id, self.id), tag=("lk", "acq", req_id)
+        )
+        if self.config.lock_spin:
+            # KDSM busy-wait client: burn CPU slices until granted (§6.1).
+            while not ev.triggered:
+                yield from self.node.busy_cpu(self.config.spin_slice)
+        notices = yield ev
+        for wn in notices:
+            if wn.writer != self.id and self.home[wn.page] != self.id:
+                self._invalidate(wn.page)
+
+    def lock_release(self, lock_id: int):
+        """Flush modifications, hand write notices to the manager."""
+        manager = self.lock_manager_of(lock_id)
+        notices = yield from self._flush_dirty()
+        self._close_interval()
+        self._notices_since_barrier.extend(notices)
+        nb = 16 + WriteNotice.NBYTES * len(notices)
+        yield from self.net.send(
+            self.id, manager, nb, (lock_id, notices), tag=("lk", "rel", self._next_req())
+        )
+
+    def handle_lock(self, msg):
+        """Comm-thread handler for the 'lk' channel (manager side)."""
+        _chan, kind, req_id = msg.tag
+        if kind == "acq":
+            lock_id, requester = msg.payload
+            log = self._lock_log.setdefault(lock_id, NoticeLog())
+            holder = self._lock_holder.get(lock_id)
+            if holder is None:
+                self._lock_holder[lock_id] = requester
+                yield from self._grant(lock_id, requester, req_id, log)
+            else:
+                self._lock_queue.setdefault(lock_id, []).append((requester, req_id))
+            return
+        if kind == "rel":
+            lock_id, notices = msg.payload
+            log = self._lock_log.setdefault(lock_id, NoticeLog())
+            log.append(notices)
+            queue = self._lock_queue.get(lock_id, [])
+            if queue:
+                requester, rid = queue.pop(0)
+                self._lock_holder[lock_id] = requester
+                yield from self._grant(lock_id, requester, rid, log)
+            else:
+                self._lock_holder[lock_id] = None
+            return
+        if kind == "gr":
+            # grant arriving back at the requester
+            self._resolve(req_id, msg.payload)
+            return
+        raise RuntimeError(f"unknown lock message kind {kind!r}")  # pragma: no cover
+
+    def _grant(self, lock_id: int, requester: int, req_id: int, log: NoticeLog):
+        notices = log.unseen_by(requester)
+        nb = 16 + WriteNotice.NBYTES * len(notices)
+        yield from self.net.send(self.id, requester, nb, notices, tag=("lk", "gr", req_id))

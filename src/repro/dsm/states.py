@@ -1,0 +1,70 @@
+"""Page state machine (Figure 5).
+
+Five states per page per node:
+
+* ``INVALID``   — no valid local copy; access faults;
+* ``TRANSIENT`` — a thread is fetching/updating the page (not yet complete);
+* ``BLOCKED``   — like TRANSIENT, but other threads are queued waiting for
+  the update to complete and must be woken;
+* ``READ_ONLY`` — valid, clean;
+* ``DIRTY``     — valid, locally modified since the last synchronisation.
+
+TRANSIENT and BLOCKED exist *because* ParADE is multi-threaded: they close
+the window in which a second thread of the same process could touch a page
+mid-update (§5.2.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Tuple
+
+
+class PageState(enum.Enum):
+    INVALID = "INVALID"
+    TRANSIENT = "TRANSIENT"
+    BLOCKED = "BLOCKED"
+    READ_ONLY = "READ_ONLY"
+    DIRTY = "DIRTY"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PageState.{self.name}"
+
+
+#: legal (from, to, reason) transitions of Figure 5
+VALID_TRANSITIONS: FrozenSet[Tuple[PageState, PageState, str]] = frozenset(
+    {
+        # first faulting thread starts the fetch
+        (PageState.INVALID, PageState.TRANSIENT, "fault"),
+        # a second thread faults while the fetch is in flight
+        (PageState.TRANSIENT, PageState.BLOCKED, "concurrent-fault"),
+        # fetch completes (read fault path)
+        (PageState.TRANSIENT, PageState.READ_ONLY, "update-done"),
+        (PageState.BLOCKED, PageState.READ_ONLY, "update-done"),
+        # fetch completes straight into writable (write fault path)
+        (PageState.TRANSIENT, PageState.DIRTY, "update-done-write"),
+        (PageState.BLOCKED, PageState.DIRTY, "update-done-write"),
+        # write fault on a clean valid page
+        (PageState.READ_ONLY, PageState.DIRTY, "write-fault"),
+        # synchronisation flushes local modifications
+        (PageState.DIRTY, PageState.READ_ONLY, "flush"),
+        # incoming write notice invalidates the copy
+        (PageState.READ_ONLY, PageState.INVALID, "invalidate"),
+        (PageState.DIRTY, PageState.INVALID, "invalidate"),
+    }
+)
+
+
+def is_valid_transition(src: PageState, dst: PageState, reason: str) -> bool:
+    return (src, dst, reason) in VALID_TRANSITIONS
+
+
+class IllegalTransition(Exception):
+    def __init__(self, page: int, src: PageState, dst: PageState, reason: str):
+        super().__init__(
+            f"page {page}: illegal transition {src.name} -> {dst.name} ({reason})"
+        )
+        self.page = page
+        self.src = src
+        self.dst = dst
+        self.reason = reason

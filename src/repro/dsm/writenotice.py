@@ -1,0 +1,57 @@
+"""Write notices.
+
+A write notice announces "node N modified page P during interval I".  At a
+synchronisation point the consumer invalidates its copy of every noticed
+page it is not the home of.  ParADE aggregates notices at the barrier
+master and piggybacks them on barrier messages (§5.2.2); the lock manager
+hands them out with lock grants (lazy release consistency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+
+@dataclass(frozen=True)
+class WriteNotice:
+    page: int
+    writer: int
+    interval: int
+
+    #: wire size of one notice record
+    NBYTES = 12
+
+
+class NoticeLog:
+    """Monotonic log of write notices with per-consumer cursors.
+
+    Used by the lock manager: a grant carries every notice the acquirer has
+    not yet seen (its cursor), mirroring how LRC piggybacks consistency
+    information on lock grants.
+    """
+
+    def __init__(self) -> None:
+        self._log: List[WriteNotice] = []
+        self._cursor: Dict[int, int] = {}
+
+    def append(self, notices) -> None:
+        self._log.extend(notices)
+
+    def unseen_by(self, consumer: int) -> List[WriteNotice]:
+        start = self._cursor.get(consumer, 0)
+        pending = self._log[start:]
+        self._cursor[consumer] = len(self._log)
+        return pending
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+
+def merge_notices(per_node_notices: Dict[int, List[WriteNotice]]) -> Dict[int, Set[int]]:
+    """Collapse notices into page -> set of writers (barrier master's view)."""
+    writers: Dict[int, Set[int]] = {}
+    for node, notices in per_node_notices.items():
+        for wn in notices:
+            writers.setdefault(wn.page, set()).add(wn.writer)
+    return writers

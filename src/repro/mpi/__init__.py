@@ -1,0 +1,40 @@
+"""Thread-safe MPI subset on the simulated cluster network.
+
+The paper (§5.3) uses exactly: point-to-point send/receive plus the two
+collectives ``MPI_Bcast`` and ``MPI_Allreduce``, served by a dedicated
+communication thread per node (most public MPI libraries of the era were not
+thread-safe, so ParADE built a minimal thread-safe subset on VIA).  We
+implement that subset — one MPI process per node, rank == node id — plus a
+few convenience collectives (reduce, barrier, gather, allgather) built from
+the same primitives.
+
+Every blocking call is a generator (``yield from comm.send(...)``) so it
+composes with the simulation kernel; receiver-side CPU costs are charged to
+the node's :class:`CommThread`, which is what makes the paper's
+1Thread-1CPU vs 1Thread-2CPU configurations behave differently.
+"""
+
+from repro.mpi.ops import ReduceOp, SUM, MAX, MIN, PROD, LAND, LOR, user_op
+from repro.mpi.datatypes import nbytes_of
+from repro.mpi.commthread import CommThread, POISON
+from repro.mpi.matching import MatchQueue, ANY_SOURCE, ANY_TAG
+from repro.mpi.communicator import Communicator, RankComm
+
+__all__ = [
+    "ReduceOp",
+    "SUM",
+    "MAX",
+    "MIN",
+    "PROD",
+    "LAND",
+    "LOR",
+    "user_op",
+    "nbytes_of",
+    "CommThread",
+    "POISON",
+    "MatchQueue",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "RankComm",
+]

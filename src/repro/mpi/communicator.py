@@ -1,0 +1,206 @@
+"""Communicator: MPI subset over the simulated cluster.
+
+One MPI process per node (rank == node id), matching ParADE's deployment.
+All blocking calls are generators.  Collectives use binomial trees
+(bcast/reduce) — the textbook algorithms MPI/Pro-era libraries used — and
+are matched across ranks by per-rank call sequence numbers, so different
+application threads of one process may issue collectives as long as the
+per-process *order* of collective calls is consistent (ParADE guarantees
+this with the pthread lock it holds across the collective, §4.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Optional
+
+from repro.mpi.datatypes import nbytes_of
+from repro.mpi.matching import MatchQueue, ANY_SOURCE, ANY_TAG
+from repro.mpi.ops import ReduceOp, SUM
+
+
+class Communicator:
+    """Cluster-wide communicator state; use :meth:`rank` for a bound view."""
+
+    _ids = itertools.count()
+
+    def __init__(self, cluster, comm_threads: List):
+        """*comm_threads* — one started :class:`CommThread` per node; the
+        communicator registers its match handler on each."""
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.id = next(self._ids)
+        self.size = cluster.n_nodes
+        self._channel = f"mpi{self.id}"
+        self._queues = [MatchQueue(self.sim) for _ in range(self.size)]
+        self._coll_seq = [0 for _ in range(self.size)]
+        self._ranks = [RankComm(self, r) for r in range(self.size)]
+        for node_id, ct in enumerate(comm_threads):
+            ct.register(self._channel, self._make_handler(node_id))
+        # statistics
+        self.n_p2p = 0
+        self.n_collectives = 0
+
+    def _make_handler(self, node_id: int):
+        queue = self._queues[node_id]
+
+        def handler(msg):
+            # tag on the wire: (channel, user_tag)
+            queue.deliver(msg.src, msg.tag[1], msg.payload)
+            return
+            yield  # pragma: no cover - generator form for the dispatcher
+
+        return handler
+
+    def rank(self, r: int) -> "RankComm":
+        return self._ranks[r]
+
+    def __iter__(self):
+        return iter(self._ranks)
+
+
+class RankComm:
+    """The communicator as seen from one rank (= one node's MPI process)."""
+
+    def __init__(self, comm: Communicator, rank: int):
+        self.comm = comm
+        self.rank = rank
+        self.size = comm.size
+        self._queue = comm._queues[rank]
+        self._net = comm.cluster.network
+
+    # -- point to point -------------------------------------------------
+    def send(self, value: Any, dest: int, tag: Any = 0):
+        """Eager buffered send: returns once the frame left the NIC."""
+        if not (0 <= dest < self.size):
+            raise ValueError(f"invalid destination rank {dest}")
+        self.comm.n_p2p += 1
+        yield from self._net.send(
+            self.rank, dest, nbytes_of(value), value, tag=(self.comm._channel, tag)
+        )
+
+    def recv(self, source: int = ANY_SOURCE, tag: Any = ANY_TAG):
+        """Blocking receive; returns the payload."""
+        src, t, payload = yield self._queue.post(source, tag)
+        return payload
+
+    def recv_with_status(self, source: int = ANY_SOURCE, tag: Any = ANY_TAG):
+        """Blocking receive; returns (payload, source, tag)."""
+        src, t, payload = yield self._queue.post(source, tag)
+        return payload, src, t
+
+    def irecv(self, source: int = ANY_SOURCE, tag: Any = ANY_TAG):
+        """Nonblocking receive: returns an event firing with
+        (src, tag, payload); yield it later to complete."""
+        return self._queue.post(source, tag)
+
+    # -- collectives -----------------------------------------------------
+    def _next_seq(self) -> int:
+        seq = self.comm._coll_seq[self.rank]
+        self.comm._coll_seq[self.rank] = seq + 1
+        return seq
+
+    def bcast(self, value: Any, root: int = 0):
+        """MPI_Bcast via binomial tree; returns the broadcast value."""
+        self.comm.n_collectives += 1
+        seq = self._next_seq()
+        tag = ("coll", seq, "bc")
+        p, rank = self.size, self.rank
+        if p == 1:
+            return value
+        rel = (rank - root) % p
+        mask = 1
+        while mask < p:
+            if rel & mask:
+                src = (rank - mask) % p
+                value = yield from self.recv(source=src, tag=tag)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if rel + mask < p:
+                dst = (rank + mask) % p
+                yield from self.send(value, dst, tag=tag)
+            mask >>= 1
+        return value
+
+    def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0):
+        """MPI_Reduce via binomial tree; root returns the reduction, others None."""
+        self.comm.n_collectives += 1
+        seq = self._next_seq()
+        tag = ("coll", seq, "rd")
+        p, rank = self.size, self.rank
+        if p == 1:
+            return value
+        rel = (rank - root) % p
+        acc = value
+        mask = 1
+        while mask < p:
+            if rel & mask == 0:
+                src_rel = rel | mask
+                if src_rel < p:
+                    src = (src_rel + root) % p
+                    other = yield from self.recv(source=src, tag=tag)
+                    acc = op(acc, other)
+            else:
+                dst = ((rel & ~mask) + root) % p
+                yield from self.send(acc, dst, tag=tag)
+                return None
+            mask <<= 1
+        return acc
+
+    def allreduce(self, value: Any, op: ReduceOp = SUM):
+        """MPI_Allreduce = binomial reduce to 0 + binomial bcast.
+
+        Implies full inter-process synchronisation (every rank's return
+        depends on every rank's contribution) — the property ParADE uses to
+        drop explicit barriers (§5.2.1).
+        """
+        acc = yield from self.reduce(value, op=op, root=0)
+        result = yield from self.bcast(acc, root=0)
+        return result
+
+    def barrier(self):
+        """MPI_Barrier as a zero-payload allreduce."""
+        yield from self.allreduce(0, op=SUM)
+
+    def gather(self, value: Any, root: int = 0):
+        """Root returns the list of per-rank values, others None."""
+        self.comm.n_collectives += 1
+        seq = self._next_seq()
+        tag = ("coll", seq, "ga")
+        if self.size == 1:
+            return [value]
+        if self.rank == root:
+            out: List[Any] = [None] * self.size
+            out[root] = value
+            for _ in range(self.size - 1):
+                payload, src, _t = yield from self.recv_with_status(tag=tag)
+                out[src] = payload
+            return out
+        yield from self.send(value, root, tag=tag)
+        return None
+
+    def allgather(self, value: Any):
+        """All ranks return the list of per-rank values."""
+        gathered = yield from self.gather(value, root=0)
+        result = yield from self.bcast(gathered, root=0)
+        return result
+
+    def scatter(self, values: Optional[List[Any]], root: int = 0):
+        """Root supplies one value per rank; every rank returns its own."""
+        self.comm.n_collectives += 1
+        seq = self._next_seq()
+        tag = ("coll", seq, "sc")
+        if self.size == 1:
+            assert values is not None
+            return values[0]
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise ValueError("scatter root needs one value per rank")
+            for r in range(self.size):
+                if r != root:
+                    yield from self.send(values[r], r, tag=tag)
+            return values[root]
+        got = yield from self.recv(source=root, tag=tag)
+        return got

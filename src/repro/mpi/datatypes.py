@@ -1,0 +1,43 @@
+"""Wire-size estimation for payloads.
+
+The simulator charges transmission time by byte count; this module maps
+Python payloads to the byte count an equivalent C/MPI program would send
+(raw data, not pickle framing).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+import numpy as np
+
+_SCALAR_BYTES = 8  # double / long on the paper's 32-bit target with doubles
+
+
+def nbytes_of(obj: Any) -> int:
+    """Bytes an equivalent MPI program would put on the wire for *obj*."""
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, np.generic):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, float, complex)):
+        return _SCALAR_BYTES * (2 if isinstance(obj, complex) else 1)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return sum(nbytes_of(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(nbytes_of(k) + nbytes_of(v) for k, v in obj.items())
+    # Structured payloads (protocol records): fall back to pickle size,
+    # which over- rather than under-estimates.
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64

@@ -1,0 +1,66 @@
+"""MPI receive matching: posted receives vs unexpected-message queue."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim import Event
+
+ANY_SOURCE = -1
+ANY_TAG = None
+
+
+class _PostedRecv:
+    __slots__ = ("source", "tag", "event")
+
+    def __init__(self, source, tag, event):
+        self.source = source
+        self.tag = tag
+        self.event = event
+
+    def matches(self, src: int, tag: Any) -> bool:
+        return (self.source == ANY_SOURCE or self.source == src) and (
+            self.tag is ANY_TAG or self.tag == tag
+        )
+
+
+class MatchQueue:
+    """Per-node matching state for one communicator."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._unexpected: deque = deque()  # (src, tag, payload)
+        self._posted: deque = deque()
+        self.n_unexpected = 0
+        self.n_posted = 0
+
+    def deliver(self, src: int, tag: Any, payload: Any) -> None:
+        """Called by the comm thread when an MPI message arrives."""
+        for i, post in enumerate(self._posted):
+            if post.matches(src, tag):
+                del self._posted[i]
+                post.event.succeed((src, tag, payload))
+                return
+        self.n_unexpected += 1
+        self._unexpected.append((src, tag, payload))
+
+    def post(self, source: int, tag: Any) -> Event:
+        """Post a receive; returns an event firing with (src, tag, payload)."""
+        ev = Event(self.sim, name="mpi-recv")
+        for i, (src, t, payload) in enumerate(self._unexpected):
+            if (source == ANY_SOURCE or source == src) and (tag is ANY_TAG or tag == t):
+                del self._unexpected[i]
+                ev.succeed((src, t, payload))
+                return ev
+        self.n_posted += 1
+        self._posted.append(_PostedRecv(source, tag, ev))
+        return ev
+
+    @property
+    def pending_unexpected(self) -> int:
+        return len(self._unexpected)
+
+    @property
+    def pending_posted(self) -> int:
+        return len(self._posted)

@@ -1,0 +1,88 @@
+"""Reduction operations.
+
+Besides the predefined MPI ops, ParADE needs *user-defined* reductions: the
+translator merges multiple ``reduction`` clause variables into one
+structure-type value reduced at once (§4.2).  ``user_op`` wraps an arbitrary
+commutative-associative binary function for that purpose.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+
+class ReduceOp:
+    """A named, commutative-associative binary reduction."""
+
+    def __init__(self, name: str, fn: Callable[[Any, Any], Any]):
+        self.name = name
+        self.fn = fn
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def reduce_all(self, values) -> Any:
+        values = list(values)
+        if not values:
+            raise ValueError(f"reduce {self.name} over empty sequence")
+        acc = values[0]
+        for v in values[1:]:
+            acc = self.fn(acc, v)
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ReduceOp {self.name}>"
+
+
+def _elementwise(scalar_fn, np_fn):
+    """Build an op that works on scalars, numpy arrays, and tuples/lists."""
+
+    def fn(a, b):
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return np_fn(np.asarray(a), np.asarray(b))
+        if isinstance(a, (tuple, list)):
+            if len(a) != len(b):
+                raise ValueError("reduction of unequal-length sequences")
+            out = [fn(x, y) for x, y in zip(a, b)]
+            return tuple(out) if isinstance(a, tuple) else out
+        if isinstance(a, dict):
+            if set(a) != set(b):
+                raise ValueError("reduction of dicts with different keys")
+            return {k: fn(a[k], b[k]) for k in a}
+        return scalar_fn(a, b)
+
+    return fn
+
+
+SUM = ReduceOp("SUM", _elementwise(lambda a, b: a + b, np.add))
+PROD = ReduceOp("PROD", _elementwise(lambda a, b: a * b, np.multiply))
+MAX = ReduceOp("MAX", _elementwise(lambda a, b: a if a >= b else b, np.maximum))
+MIN = ReduceOp("MIN", _elementwise(lambda a, b: a if a <= b else b, np.minimum))
+LAND = ReduceOp("LAND", _elementwise(lambda a, b: bool(a) and bool(b), np.logical_and))
+LOR = ReduceOp("LOR", _elementwise(lambda a, b: bool(a) or bool(b), np.logical_or))
+
+_BY_SYMBOL = {
+    "+": SUM,
+    "*": PROD,
+    "max": MAX,
+    "min": MIN,
+    "&&": LAND,
+    "||": LOR,
+}
+
+
+def op_for_symbol(symbol: str) -> ReduceOp:
+    """Map an OpenMP reduction-clause operator to a ReduceOp."""
+    try:
+        return _BY_SYMBOL[symbol]
+    except KeyError:
+        raise KeyError(
+            f"unsupported reduction operator {symbol!r}; known: {sorted(_BY_SYMBOL)}"
+        ) from None
+
+
+def user_op(fn: Callable[[Any, Any], Any], name: str = "USER") -> ReduceOp:
+    """User-defined reduction (merged reduction-structure case, §4.2)."""
+    return ReduceOp(name, fn)

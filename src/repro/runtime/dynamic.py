@@ -1,0 +1,158 @@
+"""Dynamic and guided loop scheduling (§8 future work).
+
+The paper ships static scheduling only and names cluster-aware loop
+scheduling as the most promising improvement: "processes wait a long time
+at barrier due to load-imbalance in executing the for blocks".  This
+module implements the natural cluster design — a chunk dispenser on the
+master node, served by its communication thread; threads request chunks
+with one round-trip message:
+
+    thread --("dls","req")--> master comm thread --("dls","rep")--> thread
+
+``schedule(dynamic, chunk)`` hands out fixed chunks; ``schedule(guided)``
+hands out ``remaining / (2 * nthreads)`` (bounded below by *chunk*), the
+classic guided-self-scheduling rule.
+
+Loop instances are identified by (region sequence, per-thread encounter
+index), which SPMD execution keeps consistent across threads; the
+dispenser is created lazily by the first request (all requests carry the
+same loop parameters).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Tuple
+
+from repro.sim import Event
+
+
+class _Dispenser:
+    """Master-side state for one dynamic loop instance."""
+
+    __slots__ = ("next", "hi", "chunk", "kind", "nthreads", "served")
+
+    def __init__(self, lo: int, hi: int, chunk: int, kind: str, nthreads: int):
+        self.next = lo
+        self.hi = hi
+        self.chunk = chunk
+        self.kind = kind
+        self.nthreads = nthreads
+        self.served = 0
+
+    def grab(self) -> Optional[Tuple[int, int]]:
+        if self.next >= self.hi:
+            return None
+        if self.kind == "guided":
+            remaining = self.hi - self.next
+            size = max(self.chunk, remaining // (2 * self.nthreads))
+        else:
+            size = self.chunk
+        lo = self.next
+        hi = min(lo + size, self.hi)
+        self.next = hi
+        self.served += 1
+        return lo, hi
+
+
+class DynamicScheduler:
+    """Cluster-wide dynamic-loop service: dispenser on the master node,
+    request/reply plumbing on every node's communication thread."""
+
+    MASTER = 0
+    #: CPU cost of dequeueing one chunk at the dispenser
+    DISPATCH_COST = 0.5e-6
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.net = runtime.cluster.network
+        self._dispensers: Dict[tuple, _Dispenser] = {}
+        self._pending: Dict[tuple, Event] = {}
+        self._req_seq = itertools.count()
+        self.total_chunks = 0
+        for node_id, ct in enumerate(runtime.comm_threads):
+            ct.register("dls", self._make_handler(node_id))
+
+    # ------------------------------------------------------------------
+    def _make_handler(self, node_id: int):
+        def handler(msg):
+            _chan, kind, req_id = msg.tag
+            if kind == "req":
+                assert node_id == self.MASTER
+                loop_id, lo, hi, chunk, sched, nthreads, requester = msg.payload
+                disp = self._dispensers.get(loop_id)
+                if disp is None:
+                    disp = _Dispenser(lo, hi, chunk, sched, nthreads)
+                    self._dispensers[loop_id] = disp
+                yield from self.runtime.cluster.node(node_id).busy_cpu(
+                    self.DISPATCH_COST, priority=-1
+                )
+                rng = disp.grab()
+                if rng is not None:
+                    self.total_chunks += 1
+                yield from self.net.send(
+                    node_id, requester, 16, rng, tag=("dls", "rep", req_id)
+                )
+                return
+            if kind == "rep":
+                self._pending.pop((node_id, req_id)).succeed(msg.payload)
+                return
+            raise RuntimeError(f"unknown dls message {kind!r}")  # pragma: no cover
+
+        return handler
+
+    def request(self, node_id: int, loop_id: tuple, lo: int, hi: int,
+                chunk: int, sched: str, nthreads: int):
+        """Generator: one chunk request round-trip; returns (lo, hi) or None."""
+        req_id = next(self._req_seq)
+        ev = Event(self.sim, name=f"dls[{node_id}:{req_id}]")
+        self._pending[(node_id, req_id)] = ev
+        payload = (loop_id, lo, hi, chunk, sched, nthreads, node_id)
+        yield from self.net.send(
+            node_id, self.MASTER, 48, payload, tag=("dls", "req", req_id)
+        )
+        rng = yield ev
+        return rng
+
+
+class DynamicLoop:
+    """Per-thread handle over one dynamic/guided loop instance.
+
+    Usage inside a thread body::
+
+        loop = tc.dynamic_loop(0, n, chunk=16)          # or sched="guided"
+        while True:
+            rng = yield from loop.next_chunk()
+            if rng is None:
+                break
+            lo, hi = rng
+            ...
+    """
+
+    def __init__(self, tc, loop_id: tuple, lo: int, hi: int, chunk: int, sched: str):
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        if sched not in ("dynamic", "guided"):
+            raise ValueError(f"sched must be 'dynamic' or 'guided', got {sched!r}")
+        self.tc = tc
+        self.loop_id = loop_id
+        self.lo = lo
+        self.hi = hi
+        self.chunk = chunk
+        self.sched = sched
+        self.chunks_taken = 0
+
+    def next_chunk(self):
+        rng = yield from self.tc.runtime.dynamic_scheduler.request(
+            self.tc.node_id,
+            self.loop_id,
+            self.lo,
+            self.hi,
+            self.chunk,
+            self.sched,
+            self.tc.nthreads,
+        )
+        if rng is not None:
+            self.chunks_taken += 1
+        return rng

@@ -1,0 +1,33 @@
+"""The paper's three measurement configurations (§6.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """How many compute threads and CPUs each node runs.
+
+    * ``1Thread-1CPU`` — uniprocessor kernel: one CPU handles both the
+      compute thread and the communication thread (no overlap);
+    * ``1Thread-2CPU`` — SMP kernel, one compute thread: the second CPU is
+      free for the communication thread (full overlap);
+    * ``2Thread-2CPU`` — SMP kernel, two compute threads: compute and
+      communication share the two CPUs.
+    """
+
+    name: str
+    threads_per_node: int
+    cpus_per_node: int
+
+    def __post_init__(self):
+        if self.threads_per_node < 1 or self.cpus_per_node < 1:
+            raise ValueError("thread and CPU counts must be >= 1")
+
+
+ONE_THREAD_ONE_CPU = ExecConfig("1Thread-1CPU", 1, 1)
+ONE_THREAD_TWO_CPU = ExecConfig("1Thread-2CPU", 1, 2)
+TWO_THREAD_TWO_CPU = ExecConfig("2Thread-2CPU", 2, 2)
+
+ALL_EXEC_CONFIGS = (ONE_THREAD_ONE_CPU, ONE_THREAD_TWO_CPU, TWO_THREAD_TWO_CPU)

@@ -1,0 +1,66 @@
+"""Run results: value + virtual-time and protocol statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`ParadeRuntime.run`."""
+
+    value: Any
+    #: end-to-end virtual seconds of the whole program
+    elapsed: float
+    #: virtual seconds spent inside parallel regions only
+    region_time: float
+    cluster_stats: Dict[str, float] = field(default_factory=dict)
+    dsm_stats: Dict[str, int] = field(default_factory=dict)
+    mpi_stats: Dict[str, int] = field(default_factory=dict)
+
+    #: per-node rows: filled by ParadeRuntime.run
+    node_profile: list = field(default_factory=list)
+
+    def node_report(self) -> str:
+        """Per-node breakdown: compute vs protocol-overhead vs idle CPU
+        time, message counts and bytes — a quick profile of where the run
+        went (the measurement the paper's §8 adaptive-configuration idea
+        needs)."""
+        if not self.node_profile:
+            return "(no per-node profile recorded)"
+        header = (
+            f"{'node':>4} {'MHz':>5} {'compute ms':>11} {'overhead ms':>12} "
+            f"{'cpu busy %':>11} {'msgs out':>9} {'KB out':>8}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.node_profile:
+            lines.append(
+                f"{row['node']:>4} {row['mhz']:>5} {row['compute'] * 1e3:>11.3f} "
+                f"{row['overhead'] * 1e3:>12.3f} {row['busy_frac'] * 100:>10.1f}% "
+                f"{row['msgs_sent']:>9} {row['bytes_sent'] / 1024:>8.1f}"
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        lines = [
+            f"elapsed        : {self.elapsed * 1e3:10.3f} ms (virtual)",
+            f"region time    : {self.region_time * 1e3:10.3f} ms",
+            f"messages       : {self.cluster_stats.get('total_messages', 0):>10}",
+            f"bytes on wire  : {self.cluster_stats.get('total_bytes', 0):>10}",
+        ]
+        interesting = (
+            "read_faults",
+            "write_faults",
+            "pages_fetched",
+            "diffs_sent",
+            "barriers",
+            "lock_acquires",
+            "home_migrations",
+            "invalidations",
+        )
+        for k in interesting:
+            v = self.dsm_stats.get(k, 0)
+            if v:
+                lines.append(f"{k:<15}: {v:>10}")
+        return "\n".join(lines)

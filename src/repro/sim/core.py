@@ -1,0 +1,108 @@
+"""The simulator event loop.
+
+Ordering is fully deterministic: events are processed in
+``(time, priority, sequence)`` order where *sequence* is a global FIFO
+counter.  Two runs of the same program therefore interleave identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Optional
+
+from repro.sim.events import Event, Timeout, NORMAL, SimulationError
+from repro.sim.process import Process
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class UnhandledProcessError(SimulationError):
+    """A process failed and nobody was waiting on it."""
+
+    def __init__(self, label: str, cause: BaseException):
+        super().__init__(f"process {label!r} failed: {cause!r}")
+        self.cause = cause
+
+
+class Simulator:
+    """Deterministic discrete-event simulator."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._n_processed = 0
+
+    # -- factories ----------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value=value)
+
+    def process(self, generator, label: str = "") -> Process:
+        return Process(self, generator, label=label)
+
+    # -- scheduling -----------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        heapq.heappush(self._heap, (self.now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Virtual time of the next event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise EmptySchedule()
+        t, _prio, _seq, event = heapq.heappop(self._heap)
+        self.now = t
+        callbacks, event.callbacks = event.callbacks, None
+        self._n_processed += 1
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            cause = event._value
+            label = getattr(event, "label", event.name or repr(event))
+            raise UnhandledProcessError(label, cause) from cause
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the schedule drains or virtual time exceeds *until*."""
+        if until is not None and until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            self.step()
+
+    def run_until_complete(self, process: Process, limit: Optional[float] = None) -> Any:
+        """Run until *process* terminates; return its value or re-raise.
+
+        *limit* bounds virtual time as a deadlock guard.
+        """
+        while not process.processed:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: schedule drained but {process.label!r} never finished"
+                )
+            if limit is not None and self._heap[0][0] > limit:
+                raise SimulationError(
+                    f"virtual time limit {limit} exceeded waiting for {process.label!r}"
+                )
+            try:
+                self.step()
+            except UnhandledProcessError:
+                if process.triggered and not process.ok:
+                    raise process.value
+                raise
+        if not process.ok:
+            raise process.value
+        return process.value
+
+    @property
+    def events_processed(self) -> int:
+        return self._n_processed

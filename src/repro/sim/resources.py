@@ -1,0 +1,116 @@
+"""Shared resources with FIFO (optionally prioritised) grant order.
+
+Used to model CPUs (capacity = cores per node), NIC transmit engines
+(capacity 1 → serialisation), and pthread mutexes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Optional
+
+from repro.sim.events import Event, SimulationError
+
+
+class Preempted(SimulationError):
+    """Reserved for future preemptive scheduling experiments."""
+
+
+class Request(Event):
+    """Grant event for a resource request; fires when capacity is assigned."""
+
+    __slots__ = ("resource", "priority", "key")
+
+    def __init__(self, resource: "Resource", priority: int):
+        super().__init__(resource.sim, name=f"req:{resource.name}")
+        self.resource = resource
+        self.priority = priority
+
+
+class Resource:
+    """Capacity-limited resource.
+
+    Usage from a process::
+
+        req = cpu.request()
+        yield req
+        ...           # hold the resource
+        cpu.release(req)
+
+    or the convenience generator ``yield from cpu.execute(duration)``.
+    """
+
+    def __init__(self, sim, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.users: set = set()
+        self._queue: list = []
+        self._seq = itertools.count()
+        # statistics
+        self.total_busy_time = 0.0
+        self._grant_times: dict = {}
+        self.n_grants = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of users currently holding the resource."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def request(self, priority: int = 0) -> Request:
+        req = Request(self, priority)
+        if len(self.users) < self.capacity and not self._queue:
+            self._grant(req)
+        else:
+            heapq.heappush(self._queue, (priority, next(self._seq), req))
+        return req
+
+    def release(self, request: Request) -> None:
+        if request not in self.users:
+            raise SimulationError(f"release of non-held request on {self.name}")
+        self.users.discard(request)
+        start = self._grant_times.pop(request, None)
+        if start is not None:
+            self.total_busy_time += self.sim.now - start
+        while self._queue and len(self.users) < self.capacity:
+            _, _, req = heapq.heappop(self._queue)
+            self._grant(req)
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a queued (ungranted) request."""
+        self._queue = [entry for entry in self._queue if entry[2] is not request]
+        heapq.heapify(self._queue)
+
+    def _grant(self, req: Request) -> None:
+        self.users.add(req)
+        self._grant_times[req] = self.sim.now
+        self.n_grants += 1
+        req.succeed(req)
+
+    # -- convenience ----------------------------------------------------
+    def execute(self, duration: float, priority: int = 0):
+        """Hold one capacity unit for *duration* virtual seconds."""
+        req = self.request(priority=priority)
+        yield req
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(req)
+
+    @property
+    def utilization_until_now(self) -> float:
+        """Fraction of (capacity × elapsed time) spent busy so far."""
+        if self.sim.now <= 0:
+            return 0.0
+        busy = self.total_busy_time + sum(
+            self.sim.now - t for t in self._grant_times.values()
+        )
+        return busy / (self.capacity * self.sim.now)

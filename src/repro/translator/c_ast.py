@@ -1,0 +1,322 @@
+"""AST for the C subset + OpenMP directive nodes.
+
+Nodes are lightweight dataclass-style objects with ``children()`` for
+generic walks.  OpenMP directives are first-class statements wrapping
+their structured block, which is what makes the §4 rewrites local tree
+transformations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class Node:
+    """Base AST node."""
+
+    def children(self) -> List["Node"]:
+        out = []
+        for value in self.__dict__.values():
+            if isinstance(value, Node):
+                out.append(value)
+            elif isinstance(value, list):
+                out.extend(v for v in value if isinstance(v, Node))
+        return out
+
+    def walk(self):
+        yield self
+        for c in self.children():
+            yield from c.walk()
+
+
+# ----------------------------------------------------------------------
+# types and declarations
+# ----------------------------------------------------------------------
+@dataclass
+class TypeSpec(Node):
+    """A (simplified) C type: base keywords + pointer depth."""
+
+    base: str                    # e.g. "int", "double", "unsigned long"
+    pointers: int = 0
+    qualifiers: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        q = " ".join(self.qualifiers)
+        return (q + " " if q else "") + self.base + "*" * self.pointers
+
+
+@dataclass
+class Declarator(Node):
+    name: str
+    array_dims: List[Optional["Expr"]] = field(default_factory=list)
+    init: Optional["Expr"] = None
+    pointers: int = 0
+
+
+@dataclass
+class Decl(Node):
+    type: TypeSpec
+    declarators: List[Declarator]
+    storage: Optional[str] = None  # static/extern/...
+
+
+@dataclass
+class Param(Node):
+    type: TypeSpec
+    name: Optional[str]
+    array: bool = False
+
+
+@dataclass
+class FunctionDef(Node):
+    return_type: TypeSpec
+    name: str
+    params: List[Param]
+    body: "Compound"
+
+
+@dataclass
+class FunctionDecl(Node):
+    """A prototype: declaration without a body."""
+
+    return_type: TypeSpec
+    name: str
+    params: List[Param]
+
+
+@dataclass
+class TranslationUnit(Node):
+    items: List[Node]  # Decl | FunctionDef
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+class Expr(Node):
+    pass
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+
+
+@dataclass
+class Num(Expr):
+    value: str
+
+
+@dataclass
+class Str(Expr):
+    value: str
+
+
+@dataclass
+class CharLit(Expr):
+    value: str
+
+
+@dataclass
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnOp(Expr):
+    op: str
+    operand: Expr
+    postfix: bool = False  # i++ vs ++i
+
+
+@dataclass
+class Assign(Expr):
+    op: str  # '=', '+=', ...
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Cond(Expr):
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+@dataclass
+class Call(Expr):
+    func: Expr
+    args: List[Expr]
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Member(Expr):
+    base: Expr
+    name: str
+    arrow: bool = False
+
+
+@dataclass
+class Cast(Expr):
+    type: TypeSpec
+    operand: Expr
+
+
+@dataclass
+class SizeofType(Expr):
+    type: TypeSpec
+
+
+@dataclass
+class CommaExpr(Expr):
+    parts: List[Expr]
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Compound(Stmt):
+    items: List[Node]  # Stmt | Decl
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr]  # None = empty statement
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Node]  # Decl | ExprStmt
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Raw(Stmt):
+    """Verbatim text injected by a backend (never produced by the parser)."""
+
+    text: str
+
+
+# ----------------------------------------------------------------------
+# OpenMP directive nodes
+# ----------------------------------------------------------------------
+@dataclass
+class OmpClauses(Node):
+    shared: List[str] = field(default_factory=list)
+    private: List[str] = field(default_factory=list)
+    firstprivate: List[str] = field(default_factory=list)
+    lastprivate: List[str] = field(default_factory=list)
+    #: list of (op, [vars])
+    reductions: List[Tuple[str, List[str]]] = field(default_factory=list)
+    schedule: Optional[Tuple[str, Optional[str]]] = None
+    num_threads: Optional[str] = None
+    default: Optional[str] = None
+    nowait: bool = False
+    if_expr: Optional[str] = None
+
+    def reduction_vars(self) -> List[str]:
+        out: List[str] = []
+        for _op, names in self.reductions:
+            out.extend(names)
+        return out
+
+
+@dataclass
+class OmpParallel(Stmt):
+    clauses: OmpClauses
+    body: Stmt
+    #: set when this is a combined 'parallel for'
+    for_loop: bool = False
+
+
+@dataclass
+class OmpFor(Stmt):
+    clauses: OmpClauses
+    loop: For
+
+
+@dataclass
+class OmpCritical(Stmt):
+    name: Optional[str]
+    body: Stmt
+
+
+@dataclass
+class OmpAtomic(Stmt):
+    stmt: ExprStmt
+
+
+@dataclass
+class OmpSingle(Stmt):
+    clauses: OmpClauses
+    body: Stmt
+
+
+@dataclass
+class OmpMaster(Stmt):
+    body: Stmt
+
+
+@dataclass
+class OmpBarrier(Stmt):
+    pass
+
+
+@dataclass
+class OmpSections(Stmt):
+    clauses: OmpClauses
+    sections: List[Stmt]
+
+
+@dataclass
+class OmpFlush(Stmt):
+    vars: List[str] = field(default_factory=list)

@@ -1,0 +1,226 @@
+"""C code reconstruction from the AST (the reverse C-front of §4)."""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from repro.translator import c_ast as A
+
+
+class CWriter:
+    """Pretty-printer turning AST nodes back into C text."""
+
+    INDENT = "    "
+
+    def __init__(self) -> None:
+        self.buf = io.StringIO()
+        self.level = 0
+
+    # -- plumbing ---------------------------------------------------------
+    def text(self) -> str:
+        return self.buf.getvalue()
+
+    def _line(self, s: str = "") -> None:
+        self.buf.write(self.INDENT * self.level + s + "\n")
+
+    # -- top level --------------------------------------------------------
+    def write_unit(self, unit: A.TranslationUnit) -> str:
+        for item in unit.items:
+            if isinstance(item, A.FunctionDef):
+                self.write_function(item)
+                self._line()
+            else:
+                self.write_stmt(item)
+        return self.text()
+
+    def write_function(self, fn: A.FunctionDef) -> None:
+        params = ", ".join(self.fmt_param(p) for p in fn.params) or "void"
+        self._line(f"{fn.return_type} {fn.name}({params})")
+        self.write_stmt(fn.body)
+
+    def fmt_param(self, p: A.Param) -> str:
+        s = f"{p.type}"
+        if p.name:
+            s += f" {p.name}"
+        if p.array:
+            s += "[]"
+        return s
+
+    # -- statements -------------------------------------------------------
+    def write_stmt(self, node: A.Node) -> None:
+        if isinstance(node, A.Compound):
+            self._line("{")
+            self.level += 1
+            for item in node.items:
+                self.write_stmt(item)
+            self.level -= 1
+            self._line("}")
+        elif isinstance(node, A.Decl):
+            self._line(self.fmt_decl(node))
+        elif isinstance(node, A.FunctionDecl):
+            params = ", ".join(self.fmt_param(p) for p in node.params) or "void"
+            self._line(f"{node.return_type} {node.name}({params});")
+        elif isinstance(node, A.ExprStmt):
+            self._line((self.fmt_expr(node.expr) if node.expr else "") + ";")
+        elif isinstance(node, A.If):
+            self._line(f"if ({self.fmt_expr(node.cond)})")
+            self._write_block_or_stmt(node.then)
+            if node.other is not None:
+                self._line("else")
+                self._write_block_or_stmt(node.other)
+        elif isinstance(node, A.While):
+            self._line(f"while ({self.fmt_expr(node.cond)})")
+            self._write_block_or_stmt(node.body)
+        elif isinstance(node, A.DoWhile):
+            self._line("do")
+            self._write_block_or_stmt(node.body)
+            self._line(f"while ({self.fmt_expr(node.cond)});")
+        elif isinstance(node, A.For):
+            init = ""
+            if isinstance(node.init, A.Decl):
+                init = self.fmt_decl(node.init).rstrip(";")
+            elif isinstance(node.init, A.ExprStmt) and node.init.expr is not None:
+                init = self.fmt_expr(node.init.expr)
+            cond = self.fmt_expr(node.cond) if node.cond is not None else ""
+            step = self.fmt_expr(node.step) if node.step is not None else ""
+            self._line(f"for ({init}; {cond}; {step})")
+            self._write_block_or_stmt(node.body)
+        elif isinstance(node, A.Return):
+            if node.value is None:
+                self._line("return;")
+            else:
+                self._line(f"return {self.fmt_expr(node.value)};")
+        elif isinstance(node, A.Break):
+            self._line("break;")
+        elif isinstance(node, A.Continue):
+            self._line("continue;")
+        elif isinstance(node, A.Raw):
+            for ln in node.text.splitlines():
+                self._line(ln)
+        elif isinstance(node, (A.OmpParallel, A.OmpFor, A.OmpCritical, A.OmpAtomic,
+                               A.OmpSingle, A.OmpMaster, A.OmpBarrier, A.OmpSections,
+                               A.OmpFlush)):
+            # Untranslated directive: re-emit as a pragma (identity backend).
+            self._write_pragma(node)
+        else:  # pragma: no cover - future node kinds
+            raise TypeError(f"cannot emit {type(node).__name__}")
+
+    def _write_block_or_stmt(self, node: A.Node) -> None:
+        if isinstance(node, A.Compound):
+            self.write_stmt(node)
+        else:
+            self.level += 1
+            self.write_stmt(node)
+            self.level -= 1
+
+    def _write_pragma(self, node: A.Node) -> None:
+        if isinstance(node, A.OmpParallel):
+            if node.for_loop and isinstance(node.body, A.OmpFor):
+                self._line(f"#pragma omp parallel for{self.fmt_clauses(node.clauses)}")
+                self.write_stmt(node.body.loop)
+            else:
+                self._line(f"#pragma omp parallel{self.fmt_clauses(node.clauses)}")
+                self.write_stmt(node.body)
+        elif isinstance(node, A.OmpFor):
+            self._line(f"#pragma omp for{self.fmt_clauses(node.clauses)}")
+            self.write_stmt(node.loop)
+        elif isinstance(node, A.OmpCritical):
+            name = f" ({node.name})" if node.name else ""
+            self._line(f"#pragma omp critical{name}")
+            self.write_stmt(node.body)
+        elif isinstance(node, A.OmpAtomic):
+            self._line("#pragma omp atomic")
+            self.write_stmt(node.stmt)
+        elif isinstance(node, A.OmpSingle):
+            self._line(f"#pragma omp single{self.fmt_clauses(node.clauses)}")
+            self.write_stmt(node.body)
+        elif isinstance(node, A.OmpMaster):
+            self._line("#pragma omp master")
+            self.write_stmt(node.body)
+        elif isinstance(node, A.OmpBarrier):
+            self._line("#pragma omp barrier")
+        elif isinstance(node, A.OmpFlush):
+            vars_ = f" ({', '.join(node.vars)})" if node.vars else ""
+            self._line(f"#pragma omp flush{vars_}")
+        elif isinstance(node, A.OmpSections):
+            self._line(f"#pragma omp sections{self.fmt_clauses(node.clauses)}")
+            self._line("{")
+            self.level += 1
+            for s in node.sections:
+                self._line("#pragma omp section")
+                self.write_stmt(s)
+            self.level -= 1
+            self._line("}")
+
+    def fmt_clauses(self, cl: A.OmpClauses) -> str:
+        parts = []
+        if cl.shared:
+            parts.append(f"shared({', '.join(cl.shared)})")
+        if cl.private:
+            parts.append(f"private({', '.join(cl.private)})")
+        if cl.firstprivate:
+            parts.append(f"firstprivate({', '.join(cl.firstprivate)})")
+        if cl.lastprivate:
+            parts.append(f"lastprivate({', '.join(cl.lastprivate)})")
+        for op, names in cl.reductions:
+            parts.append(f"reduction({op}: {', '.join(names)})")
+        if cl.schedule:
+            kind, chunk = cl.schedule
+            parts.append(f"schedule({kind}{', ' + chunk if chunk else ''})")
+        if cl.num_threads:
+            parts.append(f"num_threads({cl.num_threads})")
+        if cl.default:
+            parts.append(f"default({cl.default})")
+        if cl.nowait:
+            parts.append("nowait")
+        return (" " + " ".join(parts)) if parts else ""
+
+    # -- declarations -------------------------------------------------------
+    def fmt_decl(self, decl: A.Decl) -> str:
+        parts = []
+        for d in decl.declarators:
+            s = "*" * d.pointers + d.name
+            for dim in d.array_dims:
+                s += f"[{self.fmt_expr(dim) if dim is not None else ''}]"
+            if d.init is not None:
+                s += f" = {self.fmt_expr(d.init)}"
+            parts.append(s)
+        storage = (decl.storage + " ") if decl.storage else ""
+        return f"{storage}{decl.type} {', '.join(parts)};"
+
+    # -- expressions ---------------------------------------------------------
+    def fmt_expr(self, e: Optional[A.Expr]) -> str:
+        if e is None:
+            return ""
+        if isinstance(e, A.Ident):
+            return e.name
+        if isinstance(e, (A.Num, A.Str, A.CharLit)):
+            return e.value
+        if isinstance(e, A.BinOp):
+            return f"({self.fmt_expr(e.left)} {e.op} {self.fmt_expr(e.right)})"
+        if isinstance(e, A.UnOp):
+            if e.op == "sizeof":
+                return f"sizeof({self.fmt_expr(e.operand)})"
+            if e.postfix:
+                return f"{self.fmt_expr(e.operand)}{e.op}"
+            return f"{e.op}{self.fmt_expr(e.operand)}"
+        if isinstance(e, A.Assign):
+            return f"{self.fmt_expr(e.target)} {e.op} {self.fmt_expr(e.value)}"
+        if isinstance(e, A.Cond):
+            return f"({self.fmt_expr(e.cond)} ? {self.fmt_expr(e.then)} : {self.fmt_expr(e.other)})"
+        if isinstance(e, A.Call):
+            args = ", ".join(self.fmt_expr(a) for a in e.args)
+            return f"{self.fmt_expr(e.func)}({args})"
+        if isinstance(e, A.Index):
+            return f"{self.fmt_expr(e.base)}[{self.fmt_expr(e.index)}]"
+        if isinstance(e, A.Member):
+            sep = "->" if e.arrow else "."
+            return f"{self.fmt_expr(e.base)}{sep}{e.name}"
+        if isinstance(e, A.Cast):
+            return f"(({e.type}){self.fmt_expr(e.operand)})"
+        if isinstance(e, A.SizeofType):
+            return f"sizeof({e.type})"
+        if isinstance(e, A.CommaExpr):
+            return ", ".join(self.fmt_expr(p) for p in e.parts)
+        raise TypeError(f"cannot format {type(e).__name__}")  # pragma: no cover

@@ -1,0 +1,187 @@
+"""Lexer for the C subset.
+
+Comments are stripped; ``#pragma omp`` lines (with ``\\`` continuations)
+become single :class:`TokenType.PRAGMA_OMP` tokens carrying the directive
+text; other preprocessor lines are skipped (the real translator runs after
+the preprocessor, §4).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.translator.tokens import Token, TokenType, KEYWORDS, PUNCTUATORS
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"line {line}, col {col}: {message}")
+        self.line = line
+        self.col = col
+
+
+class Lexer:
+    def __init__(self, source: str):
+        self.src = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self.tokens: List[Token] = []
+
+    # -- helpers -----------------------------------------------------------
+    def _peek(self, off: int = 0) -> str:
+        i = self.pos + off
+        return self.src[i] if i < len(self.src) else ""
+
+    def _advance(self, n: int = 1) -> str:
+        out = self.src[self.pos : self.pos + n]
+        for ch in out:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += n
+        return out
+
+    def _emit(self, type_: TokenType, value: str, line: int, col: int) -> None:
+        self.tokens.append(Token(type_, value, line, col))
+
+    # -- main --------------------------------------------------------------
+    def run(self) -> List[Token]:
+        while self.pos < len(self.src):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.src) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._block_comment()
+            elif ch == "#":
+                self._preprocessor()
+            elif ch.isalpha() or ch == "_":
+                self._ident()
+            elif ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                self._number()
+            elif ch == '"':
+                self._string()
+            elif ch == "'":
+                self._char()
+            else:
+                self._punct()
+        self._emit(TokenType.EOF, "", self.line, self.col)
+        return self.tokens
+
+    def _block_comment(self) -> None:
+        line, col = self.line, self.col
+        self._advance(2)
+        while self.pos < len(self.src):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+            self._advance()
+        raise LexError("unterminated block comment", line, col)
+
+    def _preprocessor(self) -> None:
+        line, col = self.line, self.col
+        chars = []
+        while self.pos < len(self.src):
+            if self._peek() == "\\" and self._peek(1) == "\n":
+                self._advance(2)
+                chars.append(" ")
+                continue
+            if self._peek() == "\n":
+                break
+            chars.append(self._advance())
+        text = "".join(chars).strip()
+        body = text[1:].strip()  # drop '#'
+        if body.startswith("pragma"):
+            rest = body[len("pragma"):].strip()
+            if rest.startswith("omp"):
+                self._emit(TokenType.PRAGMA_OMP, rest[len("omp"):].strip(), line, col)
+        # other preprocessor lines: already expanded in the real pipeline
+
+    def _ident(self) -> None:
+        line, col = self.line, self.col
+        chars = []
+        while self.pos < len(self.src) and (self._peek().isalnum() or self._peek() == "_"):
+            chars.append(self._advance())
+        word = "".join(chars)
+        t = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
+        self._emit(t, word, line, col)
+
+    def _number(self) -> None:
+        line, col = self.line, self.col
+        chars = []
+        seen_dot = seen_exp = False
+        if self._peek() == "0" and self._peek(1) in "xX":
+            chars.append(self._advance(2))
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                chars.append(self._advance())
+        else:
+            while True:
+                c = self._peek()
+                if c.isdigit():
+                    chars.append(self._advance())
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    chars.append(self._advance())
+                elif c in "eE" and not seen_exp and self._peek(1) and (
+                    self._peek(1).isdigit() or self._peek(1) in "+-"
+                ):
+                    seen_exp = True
+                    chars.append(self._advance())
+                    if self._peek() in "+-":
+                        chars.append(self._advance())
+                else:
+                    break
+        while self._peek() in "uUlLfF" and self._peek():
+            chars.append(self._advance())
+        self._emit(TokenType.NUMBER, "".join(chars), line, col)
+
+    def _string(self) -> None:
+        line, col = self.line, self.col
+        chars = [self._advance()]  # opening quote
+        while self.pos < len(self.src):
+            c = self._peek()
+            if c == "\\":
+                chars.append(self._advance(2))
+                continue
+            chars.append(self._advance())
+            if c == '"':
+                self._emit(TokenType.STRING, "".join(chars), line, col)
+                return
+            if c == "\n":
+                break
+        raise LexError("unterminated string literal", line, col)
+
+    def _char(self) -> None:
+        line, col = self.line, self.col
+        chars = [self._advance()]
+        while self.pos < len(self.src):
+            c = self._peek()
+            if c == "\\":
+                chars.append(self._advance(2))
+                continue
+            chars.append(self._advance())
+            if c == "'":
+                self._emit(TokenType.CHAR, "".join(chars), line, col)
+                return
+            if c == "\n":
+                break
+        raise LexError("unterminated character literal", line, col)
+
+    def _punct(self) -> None:
+        line, col = self.line, self.col
+        for p in PUNCTUATORS:
+            if self.src.startswith(p, self.pos):
+                self._advance(len(p))
+                self._emit(TokenType.PUNCT, p, line, col)
+                return
+        raise LexError(f"unexpected character {self._peek()!r}", line, col)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize C source; returns tokens ending with EOF."""
+    return Lexer(source).run()

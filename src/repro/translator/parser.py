@@ -1,0 +1,509 @@
+"""Recursive-descent parser for the C subset + OpenMP 1.0 pragmas."""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.translator.tokens import Token, TokenType
+from repro.translator.lexer import tokenize
+from repro.translator import c_ast as A
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"line {token.line}: {message} (at {token.value!r})")
+        self.token = token
+
+
+_TYPE_KEYWORDS = {
+    "void", "char", "short", "int", "long", "float", "double",
+    "signed", "unsigned", "struct", "union", "enum",
+}
+_QUALIFIERS = {"const", "volatile"}
+_STORAGE = {"static", "extern", "register", "auto", "typedef"}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+#: binary operator precedence (higher binds tighter)
+_BINARY_PREC = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.toks = tokens
+        self.i = 0
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self, off: int = 0) -> Token:
+        return self.toks[min(self.i + off, len(self.toks) - 1)]
+
+    def next(self) -> Token:
+        tok = self.toks[self.i]
+        if tok.type != TokenType.EOF:
+            self.i += 1
+        return tok
+
+    def expect_punct(self, value: str) -> Token:
+        tok = self.next()
+        if not tok.is_punct(value):
+            raise ParseError(f"expected {value!r}", tok)
+        return tok
+
+    def accept_punct(self, value: str) -> bool:
+        if self.peek().is_punct(value):
+            self.next()
+            return True
+        return False
+
+    def at_type(self, off: int = 0) -> bool:
+        tok = self.peek(off)
+        return tok.type == TokenType.KEYWORD and (
+            tok.value in _TYPE_KEYWORDS or tok.value in _QUALIFIERS or tok.value in _STORAGE
+        )
+
+    # -- top level --------------------------------------------------------
+    def parse_translation_unit(self) -> A.TranslationUnit:
+        items: List[A.Node] = []
+        while self.peek().type != TokenType.EOF:
+            if self.peek().type == TokenType.PRAGMA_OMP:
+                raise ParseError("OpenMP pragma outside any function", self.peek())
+            items.append(self._external_decl())
+        return A.TranslationUnit(items)
+
+    def _external_decl(self) -> A.Node:
+        storage, type_spec = self._decl_specifiers()
+        # function definition?  type ident ( params ) { ... }
+        ptrs = 0
+        save = self.i
+        while self.accept_punct("*"):
+            ptrs += 1
+        tok = self.peek()
+        if tok.type == TokenType.IDENT and self.peek(1).is_punct("("):
+            name = self.next().value
+            params = self._param_list()
+            if self.peek().is_punct("{"):
+                rt = A.TypeSpec(type_spec.base, type_spec.pointers + ptrs, type_spec.qualifiers)
+                body = self._compound()
+                return A.FunctionDef(rt, name, params, body)
+            # function prototype
+            self.expect_punct(";")
+            rt = A.TypeSpec(type_spec.base, type_spec.pointers + ptrs, type_spec.qualifiers)
+            return A.FunctionDecl(rt, name, params)
+        self.i = save
+        return self._declaration(storage, type_spec)
+
+    def _decl_specifiers(self) -> Tuple[Optional[str], A.TypeSpec]:
+        storage = None
+        quals: List[str] = []
+        base_words: List[str] = []
+        while True:
+            tok = self.peek()
+            if tok.type != TokenType.KEYWORD:
+                break
+            if tok.value in _STORAGE:
+                storage = self.next().value
+            elif tok.value in _QUALIFIERS:
+                quals.append(self.next().value)
+            elif tok.value in _TYPE_KEYWORDS:
+                word = self.next().value
+                if word in ("struct", "union", "enum"):
+                    tag = self.next()
+                    if tag.type != TokenType.IDENT:
+                        raise ParseError("expected struct/union/enum tag", tag)
+                    word = f"{word} {tag.value}"
+                base_words.append(word)
+            else:
+                break
+        if not base_words:
+            raise ParseError("expected type specifier", self.peek())
+        return storage, A.TypeSpec(" ".join(base_words), 0, tuple(quals))
+
+    def _declaration(self, storage, type_spec) -> A.Decl:
+        declarators = [self._declarator()]
+        while self.accept_punct(","):
+            declarators.append(self._declarator())
+        self.expect_punct(";")
+        return A.Decl(type_spec, declarators, storage)
+
+    def _declarator(self) -> A.Declarator:
+        ptrs = 0
+        while self.accept_punct("*"):
+            ptrs += 1
+        tok = self.next()
+        if tok.type != TokenType.IDENT:
+            raise ParseError("expected declarator name", tok)
+        dims: List[Optional[A.Expr]] = []
+        while self.accept_punct("["):
+            if self.peek().is_punct("]"):
+                dims.append(None)
+            else:
+                dims.append(self._expr())
+            self.expect_punct("]")
+        init = None
+        if self.accept_punct("="):
+            init = self._assignment()
+        return A.Declarator(tok.value, dims, init, ptrs)
+
+    def _param_list(self) -> List[A.Param]:
+        self.expect_punct("(")
+        params: List[A.Param] = []
+        if self.accept_punct(")"):
+            return params
+        if self.peek().is_keyword("void") and self.peek(1).is_punct(")"):
+            self.next()
+            self.expect_punct(")")
+            return params
+        while True:
+            _st, ts = self._decl_specifiers()
+            ptrs = 0
+            while self.accept_punct("*"):
+                ptrs += 1
+            name = None
+            if self.peek().type == TokenType.IDENT:
+                name = self.next().value
+            arr = False
+            while self.accept_punct("["):
+                arr = True
+                if not self.peek().is_punct("]"):
+                    self._expr()
+                self.expect_punct("]")
+            params.append(A.Param(A.TypeSpec(ts.base, ts.pointers + ptrs, ts.qualifiers), name, arr))
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        return params
+
+    # -- statements -------------------------------------------------------
+    def _compound(self) -> A.Compound:
+        self.expect_punct("{")
+        items: List[A.Node] = []
+        while not self.peek().is_punct("}"):
+            if self.peek().type == TokenType.EOF:
+                raise ParseError("unterminated compound statement", self.peek())
+            items.append(self._block_item())
+        self.expect_punct("}")
+        return A.Compound(items)
+
+    def _block_item(self) -> A.Node:
+        if self.at_type():
+            storage, ts = self._decl_specifiers()
+            return self._declaration(storage, ts)
+        return self._statement()
+
+    def _statement(self) -> A.Stmt:
+        tok = self.peek()
+        if tok.type == TokenType.PRAGMA_OMP:
+            return self._omp_directive()
+        if tok.is_punct("{"):
+            return self._compound()
+        if tok.is_punct(";"):
+            self.next()
+            return A.ExprStmt(None)
+        if tok.is_keyword("if"):
+            self.next()
+            self.expect_punct("(")
+            cond = self._expr()
+            self.expect_punct(")")
+            then = self._statement()
+            other = None
+            if self.peek().is_keyword("else"):
+                self.next()
+                other = self._statement()
+            return A.If(cond, then, other)
+        if tok.is_keyword("while"):
+            self.next()
+            self.expect_punct("(")
+            cond = self._expr()
+            self.expect_punct(")")
+            return A.While(cond, self._statement())
+        if tok.is_keyword("do"):
+            self.next()
+            body = self._statement()
+            if not self.peek().is_keyword("while"):
+                raise ParseError("expected 'while' after do-body", self.peek())
+            self.next()
+            self.expect_punct("(")
+            cond = self._expr()
+            self.expect_punct(")")
+            self.expect_punct(";")
+            return A.DoWhile(body, cond)
+        if tok.is_keyword("for"):
+            self.next()
+            self.expect_punct("(")
+            init: Optional[A.Node] = None
+            if not self.peek().is_punct(";"):
+                if self.at_type():
+                    storage, ts = self._decl_specifiers()
+                    init = self._declaration(storage, ts)  # consumes ';'
+                else:
+                    init = A.ExprStmt(self._expr())
+                    self.expect_punct(";")
+            else:
+                self.next()
+            cond = None
+            if not self.peek().is_punct(";"):
+                cond = self._expr()
+            self.expect_punct(";")
+            step = None
+            if not self.peek().is_punct(")"):
+                step = self._expr()
+            self.expect_punct(")")
+            return A.For(init, cond, step, self._statement())
+        if tok.is_keyword("return"):
+            self.next()
+            value = None if self.peek().is_punct(";") else self._expr()
+            self.expect_punct(";")
+            return A.Return(value)
+        if tok.is_keyword("break"):
+            self.next()
+            self.expect_punct(";")
+            return A.Break()
+        if tok.is_keyword("continue"):
+            self.next()
+            self.expect_punct(";")
+            return A.Continue()
+        expr = self._expr()
+        self.expect_punct(";")
+        return A.ExprStmt(expr)
+
+    # -- OpenMP pragmas -----------------------------------------------------
+    def _omp_directive(self) -> A.Stmt:
+        tok = self.next()
+        text = tok.value.strip()
+        words = text.split()
+        if not words:
+            raise ParseError("empty omp pragma", tok)
+        head = words[0]
+        if head == "parallel" and len(words) > 1 and words[1] == "for":
+            clauses = _parse_clauses(re.sub(r"^\s*parallel\s+for", "", text), tok)
+            loop = self._statement()
+            if not isinstance(loop, A.For):
+                raise ParseError("'parallel for' must be followed by a for loop", tok)
+            return A.OmpParallel(clauses, A.OmpFor(clauses, loop), for_loop=True)
+        if head == "parallel":
+            clauses = _parse_clauses(text[len("parallel"):], tok)
+            return A.OmpParallel(clauses, self._statement())
+        if head == "for":
+            clauses = _parse_clauses(text[len("for"):], tok)
+            loop = self._statement()
+            if not isinstance(loop, A.For):
+                raise ParseError("'omp for' must be followed by a for loop", tok)
+            return A.OmpFor(clauses, loop)
+        if head == "critical":
+            m = re.match(r"critical\s*(\(\s*(\w+)\s*\))?\s*$", text)
+            if not m:
+                raise ParseError("malformed critical directive", tok)
+            return A.OmpCritical(m.group(2), self._statement())
+        if head == "atomic":
+            stmt = self._statement()
+            if not isinstance(stmt, A.ExprStmt) or stmt.expr is None:
+                raise ParseError("'omp atomic' must guard an expression statement", tok)
+            return A.OmpAtomic(stmt)
+        if head == "single":
+            clauses = _parse_clauses(text[len("single"):], tok)
+            return A.OmpSingle(clauses, self._statement())
+        if head == "master":
+            return A.OmpMaster(self._statement())
+        if head == "barrier":
+            return A.OmpBarrier()
+        if head == "flush":
+            m = re.match(r"flush\s*(\((.*)\))?\s*$", text)
+            names = [s.strip() for s in (m.group(2) or "").split(",") if s.strip()] if m else []
+            return A.OmpFlush(names)
+        if head == "sections":
+            clauses = _parse_clauses(text[len("sections"):], tok)
+            block = self._statement()
+            if not isinstance(block, A.Compound):
+                raise ParseError("'omp sections' needs a compound block", tok)
+            secs: List[A.Stmt] = []
+            for item in block.items:
+                secs.append(item)
+            return A.OmpSections(clauses, secs)
+        if head == "section":
+            # a bare section: return its block (handled inside sections)
+            return self._statement()
+        raise ParseError(f"unsupported omp directive {head!r}", tok)
+
+    # -- expressions ------------------------------------------------------
+    def _expr(self) -> A.Expr:
+        first = self._assignment()
+        if self.peek().is_punct(","):
+            parts = [first]
+            while self.accept_punct(","):
+                parts.append(self._assignment())
+            return A.CommaExpr(parts)
+        return first
+
+    def _assignment(self) -> A.Expr:
+        left = self._conditional()
+        tok = self.peek()
+        if tok.type == TokenType.PUNCT and tok.value in _ASSIGN_OPS:
+            op = self.next().value
+            value = self._assignment()
+            return A.Assign(op, left, value)
+        return left
+
+    def _conditional(self) -> A.Expr:
+        cond = self._binary(0)
+        if self.accept_punct("?"):
+            then = self._expr()
+            self.expect_punct(":")
+            other = self._conditional()
+            return A.Cond(cond, then, other)
+        return cond
+
+    def _binary(self, min_prec: int) -> A.Expr:
+        left = self._unary()
+        while True:
+            tok = self.peek()
+            if tok.type != TokenType.PUNCT:
+                break
+            prec = _BINARY_PREC.get(tok.value)
+            if prec is None or prec < min_prec:
+                break
+            op = self.next().value
+            right = self._binary(prec + 1)
+            left = A.BinOp(op, left, right)
+        return left
+
+    def _unary(self) -> A.Expr:
+        tok = self.peek()
+        if tok.type == TokenType.PUNCT and tok.value in ("+", "-", "!", "~", "*", "&"):
+            self.next()
+            return A.UnOp(tok.value, self._unary())
+        if tok.type == TokenType.PUNCT and tok.value in ("++", "--"):
+            self.next()
+            return A.UnOp(tok.value, self._unary())
+        if tok.is_keyword("sizeof"):
+            self.next()
+            if self.peek().is_punct("(") and self.at_type(1):
+                self.expect_punct("(")
+                _st, ts = self._decl_specifiers()
+                ptrs = 0
+                while self.accept_punct("*"):
+                    ptrs += 1
+                self.expect_punct(")")
+                return A.SizeofType(A.TypeSpec(ts.base, ts.pointers + ptrs, ts.qualifiers))
+            return A.UnOp("sizeof", self._unary())
+        # cast: ( type ) unary
+        if tok.is_punct("(") and self.at_type(1):
+            self.expect_punct("(")
+            _st, ts = self._decl_specifiers()
+            ptrs = 0
+            while self.accept_punct("*"):
+                ptrs += 1
+            self.expect_punct(")")
+            return A.Cast(A.TypeSpec(ts.base, ts.pointers + ptrs, ts.qualifiers), self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> A.Expr:
+        expr = self._primary()
+        while True:
+            tok = self.peek()
+            if tok.is_punct("("):
+                self.next()
+                args: List[A.Expr] = []
+                if not self.peek().is_punct(")"):
+                    args.append(self._assignment())
+                    while self.accept_punct(","):
+                        args.append(self._assignment())
+                self.expect_punct(")")
+                expr = A.Call(expr, args)
+            elif tok.is_punct("["):
+                self.next()
+                idx = self._expr()
+                self.expect_punct("]")
+                expr = A.Index(expr, idx)
+            elif tok.is_punct("."):
+                self.next()
+                name = self.next()
+                expr = A.Member(expr, name.value, arrow=False)
+            elif tok.is_punct("->"):
+                self.next()
+                name = self.next()
+                expr = A.Member(expr, name.value, arrow=True)
+            elif tok.type == TokenType.PUNCT and tok.value in ("++", "--"):
+                self.next()
+                expr = A.UnOp(tok.value, expr, postfix=True)
+            else:
+                return expr
+
+    def _primary(self) -> A.Expr:
+        tok = self.next()
+        if tok.type == TokenType.IDENT:
+            return A.Ident(tok.value)
+        if tok.type == TokenType.NUMBER:
+            return A.Num(tok.value)
+        if tok.type == TokenType.STRING:
+            return A.Str(tok.value)
+        if tok.type == TokenType.CHAR:
+            return A.CharLit(tok.value)
+        if tok.is_punct("("):
+            expr = self._expr()
+            self.expect_punct(")")
+            return expr
+        raise ParseError("expected expression", tok)
+
+
+# ----------------------------------------------------------------------
+# clause parsing (over the pragma text)
+# ----------------------------------------------------------------------
+_CLAUSE_RE = re.compile(
+    r"(shared|private|firstprivate|lastprivate|reduction|schedule|"
+    r"num_threads|default|if|copyin)\s*\(([^()]*)\)|\b(nowait)\b"
+)
+
+
+def _parse_clauses(text: str, tok: Token) -> A.OmpClauses:
+    clauses = A.OmpClauses()
+    consumed = _CLAUSE_RE.sub("", text).strip()
+    if consumed:
+        raise ParseError(f"unrecognised clause text {consumed!r}", tok)
+    for m in _CLAUSE_RE.finditer(text):
+        if m.group(3) == "nowait":
+            clauses.nowait = True
+            continue
+        name, body = m.group(1), m.group(2)
+        names = [s.strip() for s in body.split(",") if s.strip()]
+        if name == "shared":
+            clauses.shared.extend(names)
+        elif name == "private":
+            clauses.private.extend(names)
+        elif name == "firstprivate":
+            clauses.firstprivate.extend(names)
+        elif name == "lastprivate":
+            clauses.lastprivate.extend(names)
+        elif name == "reduction":
+            if ":" not in body:
+                raise ParseError("reduction clause needs 'op : vars'", tok)
+            op, vars_text = body.split(":", 1)
+            vars_ = [s.strip() for s in vars_text.split(",") if s.strip()]
+            clauses.reductions.append((op.strip(), vars_))
+        elif name == "schedule":
+            parts = [s.strip() for s in body.split(",")]
+            clauses.schedule = (parts[0], parts[1] if len(parts) > 1 else None)
+        elif name == "num_threads":
+            clauses.num_threads = body.strip()
+        elif name == "default":
+            clauses.default = body.strip()
+        elif name == "if":
+            clauses.if_expr = body.strip()
+        # copyin accepted and ignored (threadprivate unsupported)
+    return clauses
+
+
+def parse(source: str) -> A.TranslationUnit:
+    """Parse C source text into a translation unit."""
+    return Parser(tokenize(source)).parse_translation_unit()

@@ -1,0 +1,55 @@
+"""Token definitions for the C-subset lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    IDENT = "IDENT"
+    KEYWORD = "KEYWORD"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    CHAR = "CHAR"
+    PUNCT = "PUNCT"
+    PRAGMA_OMP = "PRAGMA_OMP"   # one token per '#pragma omp ...' line
+    EOF = "EOF"
+
+
+#: C keywords the subset understands (types + control flow)
+KEYWORDS = frozenset(
+    {
+        "auto", "break", "case", "char", "const", "continue", "default",
+        "do", "double", "else", "enum", "extern", "float", "for", "goto",
+        "if", "int", "long", "register", "return", "short", "signed",
+        "sizeof", "static", "struct", "switch", "typedef", "union",
+        "unsigned", "void", "volatile", "while",
+    }
+)
+
+#: multi-character punctuators, longest first
+PUNCTUATORS = (
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "[", "]", "{", "}", ";", ",", ".", "?", ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    col: int
+
+    def is_punct(self, value: str) -> bool:
+        return self.type == TokenType.PUNCT and self.value == value
+
+    def is_keyword(self, value: str) -> bool:
+        return self.type == TokenType.KEYWORD and self.value == value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Token({self.type.value}, {self.value!r}, L{self.line})"

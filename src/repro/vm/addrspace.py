@@ -1,0 +1,149 @@
+"""Address spaces: per-process page tables with protections.
+
+Access checks emulate the MMU: a read or write whose protection bits do not
+permit it raises :class:`ProtectionFault` — the simulation's SIGSEGV.  The
+DSM fault handler catches it, services the page, and retries, exactly like
+the user-level signal-handler loop of a page-based SDSM (§5.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.vm.memory import PhysicalMemory
+
+PROT_NONE = 0
+PROT_READ = 1
+PROT_WRITE = 2
+PROT_RW = PROT_READ | PROT_WRITE
+
+
+class ProtectionFault(Exception):
+    """SIGSEGV: privileged access violated the page protection."""
+
+    def __init__(self, vpage: int, addr: int, is_write: bool):
+        kind = "write" if is_write else "read"
+        super().__init__(f"{kind} fault at addr {addr:#x} (vpage {vpage})")
+        self.vpage = vpage
+        self.addr = addr
+        self.is_write = is_write
+
+
+class _PTE:
+    __slots__ = ("frame", "prot")
+
+    def __init__(self, frame: int, prot: int):
+        self.frame = frame
+        self.prot = prot
+
+
+class AddressSpace:
+    """One virtual address space mapping pages onto physical frames."""
+
+    def __init__(self, phys: PhysicalMemory, page_size: Optional[int] = None, name: str = "as"):
+        self.phys = phys
+        self.page_size = page_size or phys.frame_size
+        if self.page_size != phys.frame_size:
+            raise ValueError("page size must equal frame size")
+        self.name = name
+        self._pt: Dict[int, _PTE] = {}
+        self.n_faults = 0
+
+    # -- mapping ---------------------------------------------------------
+    def map(self, vpage: int, frame: int, prot: int = PROT_READ) -> None:
+        self.phys._check(frame)
+        self._pt[vpage] = _PTE(frame, prot)
+
+    def map_identity(self, n_pages: int, prot: int = PROT_NONE) -> None:
+        """Map vpage i -> frame i for i in [0, n_pages)."""
+        for i in range(n_pages):
+            self.map(i, i, prot)
+
+    def unmap(self, vpage: int) -> None:
+        self._pt.pop(vpage, None)
+
+    def protect(self, vpage: int, prot: int) -> None:
+        """mprotect(2) analogue for a single page."""
+        pte = self._pt.get(vpage)
+        if pte is None:
+            raise KeyError(f"vpage {vpage} not mapped in {self.name}")
+        pte.prot = prot
+
+    def protection(self, vpage: int) -> int:
+        pte = self._pt.get(vpage)
+        return PROT_NONE if pte is None else pte.prot
+
+    def is_mapped(self, vpage: int) -> bool:
+        return vpage in self._pt
+
+    def frame_of(self, vpage: int) -> int:
+        return self._pt[vpage].frame
+
+    # -- checked access ----------------------------------------------------
+    def check_range(self, addr: int, size: int, write: bool) -> None:
+        """Raise ProtectionFault at the first offending page in the range."""
+        if size <= 0:
+            return
+        need = PROT_WRITE if write else PROT_READ
+        first = addr // self.page_size
+        last = (addr + size - 1) // self.page_size
+        for vp in range(first, last + 1):
+            pte = self._pt.get(vp)
+            if pte is None or not (pte.prot & need):
+                self.n_faults += 1
+                fault_addr = max(addr, vp * self.page_size)
+                raise ProtectionFault(vp, fault_addr, write)
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Protection-checked read of raw bytes."""
+        self.check_range(addr, size, write=False)
+        return self._copy_out(addr, size)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Protection-checked write of raw bytes."""
+        data = bytes(data)
+        self.check_range(addr, len(data), write=True)
+        self._copy_in(addr, data)
+
+    def view(self, addr: int, size: int) -> np.ndarray:
+        """Zero-copy uint8 view (valid only for ranges within one contiguity
+        run of frames; identity mappings always qualify)."""
+        first = addr // self.page_size
+        last = (addr + size - 1) // self.page_size
+        base_frame = self._pt[first].frame
+        for vp in range(first, last + 1):
+            if self._pt[vp].frame != base_frame + (vp - first):
+                raise ValueError("view spans non-contiguous frames")
+        start = base_frame * self.page_size + (addr % self.page_size)
+        return self.phys.buffer[start : start + size]
+
+    # -- unchecked plumbing ------------------------------------------------
+    def _copy_out(self, addr: int, size: int) -> bytes:
+        out = bytearray()
+        pos = addr
+        remaining = size
+        while remaining > 0:
+            vp = pos // self.page_size
+            off = pos % self.page_size
+            n = min(remaining, self.page_size - off)
+            frame = self._pt[vp].frame
+            view = self.phys.frame_view(frame)
+            out += view[off : off + n].tobytes()
+            pos += n
+            remaining -= n
+        return bytes(out)
+
+    def _copy_in(self, addr: int, data: bytes) -> None:
+        pos = addr
+        i = 0
+        while i < len(data):
+            vp = pos // self.page_size
+            off = pos % self.page_size
+            n = min(len(data) - i, self.page_size - off)
+            frame = self._pt[vp].frame
+            view = self.phys.frame_view(frame)
+            view[off : off + n] = np.frombuffer(data[i : i + n], dtype=np.uint8)
+            pos += n
+            i += n

@@ -1,0 +1,15 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator
+
+# canonical builders live in the library so benchmarks can share them
+from repro.testing import build_cluster, build_comm, build_dsm, run_all  # noqa: F401
+
+
+@pytest.fixture
+def sim():
+    return Simulator()

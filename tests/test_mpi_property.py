@@ -1,0 +1,105 @@
+"""Property-based tests: the MPI collectives agree with their sequential
+definitions for arbitrary values and cluster sizes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi.ops import SUM, MAX, MIN, PROD
+from repro.testing import build_cluster, build_comm, run_all
+
+_OPS = {"SUM": SUM, "MAX": MAX, "MIN": MIN, "PROD": PROD}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    p=st.integers(1, 6),
+    op_name=st.sampled_from(sorted(_OPS)),
+    data=st.data(),
+)
+def test_allreduce_matches_sequential_reduction(p, op_name, data):
+    values = data.draw(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=p,
+            max_size=p,
+        )
+    )
+    op = _OPS[op_name]
+    cluster = build_cluster(p)
+    _cts, comm = build_comm(cluster)
+    results = {}
+
+    def main(rc):
+        total = yield from rc.allreduce(values[rc.rank], op=op)
+        results[rc.rank] = total
+
+    run_all(cluster, [main(comm.rank(r)) for r in range(p)])
+    expected = op.reduce_all(values)
+    for r in range(p):
+        assert results[r] == pytest.approx(expected, rel=1e-12, abs=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(p=st.integers(1, 6), root=st.data())
+def test_bcast_delivers_root_value_everywhere(p, root):
+    r0 = root.draw(st.integers(0, p - 1))
+    payload = {"nested": [1, 2, (3, 4)], "val": 2.5}
+    cluster = build_cluster(p)
+    _cts, comm = build_comm(cluster)
+    results = {}
+
+    def main(rc):
+        got = yield from rc.bcast(payload if rc.rank == r0 else None, root=r0)
+        results[rc.rank] = got
+
+    run_all(cluster, [main(comm.rank(r)) for r in range(p)])
+    assert all(v == payload for v in results.values())
+
+
+@settings(max_examples=15, deadline=None)
+@given(p=st.integers(2, 6), n_msgs=st.integers(1, 8))
+def test_p2p_fifo_per_sender_receiver_pair(p, n_msgs):
+    """Messages between one (src, dst, tag) pair arrive in send order."""
+    cluster = build_cluster(p)
+    _cts, comm = build_comm(cluster)
+    received = []
+
+    def sender(rc):
+        for i in range(n_msgs):
+            yield from rc.send(i, 1, tag="seq")
+
+    def receiver(rc):
+        for _ in range(n_msgs):
+            v = yield from rc.recv(source=0, tag="seq")
+            received.append(v)
+
+    others = [
+        comm.rank(r) for r in range(p) if r not in (0, 1)
+    ]
+
+    def idle(rc):
+        return
+        yield
+
+    run_all(
+        cluster,
+        [sender(comm.rank(0)), receiver(comm.rank(1))] + [idle(rc) for rc in others],
+    )
+    assert received == list(range(n_msgs))
+
+
+@settings(max_examples=15, deadline=None)
+@given(p=st.integers(1, 6))
+def test_allgather_orders_by_rank(p):
+    cluster = build_cluster(p)
+    _cts, comm = build_comm(cluster)
+    results = {}
+
+    def main(rc):
+        g = yield from rc.allgather(f"rank{rc.rank}")
+        results[rc.rank] = g
+
+    run_all(cluster, [main(comm.rank(r)) for r in range(p)])
+    expected = [f"rank{r}" for r in range(p)]
+    assert all(v == expected for v in results.values())

@@ -1,0 +1,66 @@
+"""Tests for the pure-MPI workload versions and the SDSM < ParADE < MPI
+performance bracket the paper's conclusion claims."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ep, helmholtz
+from repro.apps.mpi_versions import ep_rank_main, helmholtz_rank_main, run_pure_mpi
+from repro.runtime import ParadeRuntime, ONE_THREAD_TWO_CPU
+
+
+def test_pure_mpi_ep_matches_reference():
+    ref = ep.ep_segment(0, 1 << ep.CLASSES["T"])
+    result, elapsed = run_pure_mpi(
+        lambda rc, cluster: ep_rank_main(rc, cluster, "T"), n_nodes=4
+    )
+    assert result.sx == pytest.approx(ref.sx, abs=1e-9)
+    assert result.sy == pytest.approx(ref.sy, abs=1e-9)
+    assert np.array_equal(result.counts, ref.counts)
+    assert elapsed > 0
+
+
+def test_pure_mpi_helmholtz_matches_reference():
+    seq = helmholtz.helmholtz_reference(n=32, m=32, max_iters=20)
+    result, _elapsed = run_pure_mpi(
+        lambda rc, cluster: helmholtz_rank_main(rc, cluster, n=32, m=32, max_iters=20),
+        n_nodes=4,
+    )
+    assert result.iterations == seq.iterations
+    assert np.allclose(result.u, seq.u, atol=1e-12)
+    assert result.error == pytest.approx(seq.error, rel=1e-9)
+
+
+def test_pure_mpi_helmholtz_single_rank():
+    seq = helmholtz.helmholtz_reference(n=24, m=24, max_iters=10)
+    result, _ = run_pure_mpi(
+        lambda rc, cluster: helmholtz_rank_main(rc, cluster, n=24, m=24, max_iters=10),
+        n_nodes=1,
+    )
+    assert np.allclose(result.u, seq.u, atol=1e-12)
+
+
+def test_conclusion_bracket_sdsm_parade_mpi():
+    """§8 conclusion: 'the ParADE system shows the performance between
+    those of an SDSM application and a pure MPI application.'"""
+    n, iters, nodes = 96, 12, 4
+
+    # pure MPI (fast end)
+    _res, t_mpi = run_pure_mpi(
+        lambda rc, cluster: helmholtz_rank_main(rc, cluster, n=n, m=n, max_iters=iters),
+        n_nodes=nodes,
+    )
+
+    # ParADE hybrid
+    rt = ParadeRuntime(
+        n_nodes=nodes, exec_config=ONE_THREAD_TWO_CPU, mode="parade", pool_bytes=1 << 21
+    )
+    t_parade = rt.run(helmholtz.make_program(n=n, m=n, max_iters=iters)).elapsed
+
+    # conventional SDSM translation on the KDSM substrate (slow end)
+    rt2 = ParadeRuntime(
+        n_nodes=nodes, exec_config=ONE_THREAD_TWO_CPU, mode="sdsm", pool_bytes=1 << 21
+    )
+    t_sdsm = rt2.run(helmholtz.make_program(n=n, m=n, max_iters=iters)).elapsed
+
+    assert t_mpi < t_parade < t_sdsm, (t_mpi, t_parade, t_sdsm)

@@ -1,0 +1,206 @@
+"""Tests for the runtime extensions: dynamic/guided scheduling (§8 future
+work), sections, and the explicit OpenMP lock API."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import ParadeRuntime, TWO_THREAD_TWO_CPU, ONE_THREAD_ONE_CPU
+from repro.mpi.ops import SUM
+
+
+def _dyn_sum_program(n, chunk, sched):
+    def program(ctx):
+        total = ctx.shared_scalar("t")
+
+        def body(tc, total):
+            part = 0.0
+            loop = tc.dynamic_loop(0, n, chunk=chunk, sched=sched)
+            while True:
+                rng = yield from loop.next_chunk()
+                if rng is None:
+                    break
+                lo, hi = rng
+                part += float(sum(range(lo, hi)))
+            yield from tc.reduce_into(total, part, SUM)
+
+        yield from ctx.parallel(body, total)
+        v = yield from ctx.scalar(total).get()
+        return float(v)
+
+    return program
+
+
+@pytest.mark.parametrize("sched", ["dynamic", "guided"])
+@pytest.mark.parametrize("chunk", [1, 7, 64])
+def test_dynamic_loop_covers_all_iterations(sched, chunk):
+    rt = ParadeRuntime(n_nodes=4, pool_bytes=1 << 20)
+    res = rt.run(_dyn_sum_program(500, chunk, sched))
+    assert res.value == 500 * 499 / 2
+
+
+def test_dynamic_loop_single_node():
+    rt = ParadeRuntime(n_nodes=1, exec_config=ONE_THREAD_ONE_CPU, pool_bytes=1 << 20)
+    res = rt.run(_dyn_sum_program(100, 10, "dynamic"))
+    assert res.value == 4950.0
+    assert rt.dynamic_scheduler.total_chunks == 10
+
+
+def test_guided_uses_fewer_chunks_than_dynamic():
+    rt_d = ParadeRuntime(n_nodes=4, pool_bytes=1 << 20)
+    rt_d.run(_dyn_sum_program(1000, 4, "dynamic"))
+    rt_g = ParadeRuntime(n_nodes=4, pool_bytes=1 << 20)
+    rt_g.run(_dyn_sum_program(1000, 4, "guided"))
+    assert rt_g.dynamic_scheduler.total_chunks < rt_d.dynamic_scheduler.total_chunks
+
+
+def test_dynamic_beats_static_on_imbalanced_load():
+    """The paper's §8 motivation: static scheduling makes threads 'wait a
+    long time at barrier due to load-imbalance'."""
+    N = 200
+
+    def make(sched):
+        def program(ctx):
+            def body(tc):
+                if sched == "static":
+                    lo, hi = tc.for_range(0, N)
+                    for i in range(lo, hi):
+                        yield from tc.compute(2000.0 * (i + 1))  # triangular
+                else:
+                    loop = tc.dynamic_loop(0, N, chunk=4, sched=sched)
+                    while True:
+                        rng = yield from loop.next_chunk()
+                        if rng is None:
+                            break
+                        for i in range(*rng):
+                            yield from tc.compute(2000.0 * (i + 1))
+                yield from tc.barrier()
+
+            yield from ctx.parallel(body)
+
+        return program
+
+    times = {}
+    for sched in ("static", "dynamic"):
+        rt = ParadeRuntime(n_nodes=4, pool_bytes=1 << 20)
+        times[sched] = rt.run(make(sched)).elapsed
+    assert times["dynamic"] < times["static"]
+
+
+def test_dynamic_loop_validation():
+    rt = ParadeRuntime(n_nodes=1, pool_bytes=1 << 20)
+
+    def program(ctx):
+        def body(tc):
+            with pytest.raises(ValueError):
+                tc.dynamic_loop(0, 10, chunk=0)
+            with pytest.raises(ValueError):
+                tc.dynamic_loop(0, 10, sched="stochastic")
+            return
+            yield
+
+        yield from ctx.parallel(body)
+
+    rt.run(program)
+
+
+def test_empty_dynamic_loop():
+    rt = ParadeRuntime(n_nodes=2, pool_bytes=1 << 20)
+
+    def program(ctx):
+        hits = []
+
+        def body(tc):
+            loop = tc.dynamic_loop(5, 5, chunk=4)
+            rng = yield from loop.next_chunk()
+            hits.append(rng)
+
+        yield from ctx.parallel(body)
+        return hits
+
+    res = rt.run(program)
+    assert res.value == [None] * 4
+
+
+# ------------------------------------------------------------- sections
+def test_sections_each_runs_once():
+    rt = ParadeRuntime(n_nodes=2, exec_config=TWO_THREAD_TWO_CPU, pool_bytes=1 << 20)
+    ran = []
+
+    def program(ctx):
+        def body(tc):
+            def make(k):
+                def section():
+                    ran.append(k)
+                    return k * 10
+                    yield
+
+                return section
+
+            results = yield from tc.sections([make(k) for k in range(6)])
+            return results
+
+        yield from ctx.parallel(body)
+
+    rt.run(program)
+    assert sorted(ran) == list(range(6))
+
+
+def test_sections_fewer_than_threads():
+    rt = ParadeRuntime(n_nodes=4, exec_config=TWO_THREAD_TWO_CPU, pool_bytes=1 << 20)
+    ran = []
+
+    def program(ctx):
+        def body(tc):
+            def s0():
+                ran.append(tc.tid)
+                return None
+                yield
+
+            yield from tc.sections([s0])
+
+        yield from ctx.parallel(body)
+
+    rt.run(program)
+    assert ran == [0]  # only thread 0 runs section 0
+
+
+# ------------------------------------------------------------- explicit locks
+def test_omp_lock_api_mutual_exclusion():
+    rt = ParadeRuntime(n_nodes=3, exec_config=TWO_THREAD_TWO_CPU, pool_bytes=1 << 20)
+
+    def program(ctx):
+        c = ctx.shared_array("c", (1,), force_object=False)
+
+        def body(tc, c):
+            v = tc.array(c)
+            for _ in range(2):
+                yield from tc.set_lock("L")
+                cur = yield from v.get_scalar(0)
+                yield from v.set_scalar(0, float(cur) + 1.0)
+                yield from tc.unset_lock("L")
+            yield from tc.barrier()
+
+        yield from ctx.parallel(body, c)
+        v = yield from ctx.array(c).get_scalar(0)
+        return float(v)
+
+    res = rt.run(program)
+    assert res.value == 12.0  # 6 threads x 2 increments
+
+
+def test_distinct_lock_names_do_not_serialise():
+    rt = ParadeRuntime(n_nodes=2, pool_bytes=1 << 20)
+    order = []
+
+    def program(ctx):
+        def body(tc):
+            name = "A" if tc.tid % 2 == 0 else "B"
+            yield from tc.set_lock(name)
+            order.append((tc.tid, name))
+            yield tc.sim.timeout(1e-5)
+            yield from tc.unset_lock(name)
+
+        yield from ctx.parallel(body)
+
+    rt.run(program)
+    assert len(order) == 4

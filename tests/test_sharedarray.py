@@ -1,0 +1,146 @@
+"""Unit tests for SharedArray / SharedScalar views."""
+
+import numpy as np
+import pytest
+
+from repro.dsm import SharedArray, SharedScalar
+from repro.testing import build_dsm, run_all
+
+
+def test_allocate_shapes_and_dtypes():
+    _c, _t, dsm = build_dsm(2)
+    a = SharedArray.allocate(dsm, "a", (10, 20), dtype=np.float32)
+    assert a.shape == (10, 20)
+    assert a.size == 200
+    assert a.nbytes == 800
+    b = SharedArray.allocate(dsm, "b", 16, dtype=np.int64)
+    assert b.shape == (16,)
+
+
+def test_invalid_shapes_rejected():
+    _c, _t, dsm = build_dsm(2)
+    with pytest.raises(ValueError):
+        SharedArray.allocate(dsm, "z", (0,))
+    with pytest.raises(ValueError):
+        SharedArray.allocate(dsm, "z2", (-3, 2))
+
+
+def test_out_of_range_access_rejected():
+    cluster, _t, dsm = build_dsm(2)
+    a = SharedArray.allocate(dsm, "a", (8,))
+
+    def worker():
+        v = a.on(0)
+        with pytest.raises(IndexError):
+            yield from v.get(0, 9)
+        with pytest.raises(IndexError):
+            yield from v.set(np.zeros(4), start=6)
+        yield from v.set(np.zeros(8))
+
+    run_all(cluster, [worker()])
+
+
+def test_get_returns_readonly_view():
+    cluster, _t, dsm = build_dsm(2)
+    a = SharedArray.allocate(dsm, "a", (8,))
+
+    def worker():
+        v = a.on(0)
+        yield from v.set(np.arange(8.0))
+        data = yield from v.get()
+        assert not data.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            data[0] = 99
+
+    run_all(cluster, [worker()])
+
+
+def test_writable_view_aliases_pool():
+    cluster, _t, dsm = build_dsm(2)
+    a = SharedArray.allocate(dsm, "a", (8,))
+
+    def worker():
+        v = a.on(0)
+        w = yield from v.writable(2, 5)
+        w[:] = 7.0
+        back = yield from v.get()
+        assert np.array_equal(back, [0, 0, 7, 7, 7, 0, 0, 0])
+
+    run_all(cluster, [worker()])
+
+
+def test_empty_range_access():
+    cluster, _t, dsm = build_dsm(2)
+    a = SharedArray.allocate(dsm, "a", (8,))
+
+    def worker():
+        v = a.on(0)
+        e = yield from v.get(3, 3)
+        assert e.size == 0
+        yield from v.set(np.empty(0), start=5)
+
+    run_all(cluster, [worker()])
+
+
+def test_scalar_roundtrip_and_raw():
+    cluster, _t, dsm = build_dsm(2)
+    s = SharedScalar(dsm, "s", dtype=np.float64)
+
+    def worker():
+        v = s.on(0)
+        yield from v.set(2.5)
+        got = yield from v.get()
+        assert got == 2.5
+        v.raw_set(7.0)
+        assert v.raw_get() == 7.0
+
+    run_all(cluster, [worker()])
+    assert s.nbytes == 8
+
+
+def test_integer_dtype_preserved():
+    cluster, _t, dsm = build_dsm(2)
+    a = SharedArray.allocate(dsm, "a", (4,), dtype=np.int32)
+
+    def worker():
+        v = a.on(0)
+        yield from v.set(np.array([1, 2, 3, 4], dtype=np.int32))
+        got = yield from v.get_scalar(2)
+        assert got == 3 and isinstance(got, np.int32)
+
+    run_all(cluster, [worker()])
+
+
+def test_values_cast_to_array_dtype():
+    cluster, _t, dsm = build_dsm(2)
+    a = SharedArray.allocate(dsm, "a", (4,), dtype=np.float64)
+
+    def worker():
+        v = a.on(0)
+        yield from v.set([1, 2, 3, 4])  # python ints
+        got = yield from v.get()
+        assert got.dtype == np.float64
+
+    run_all(cluster, [worker()])
+
+
+def test_unaligned_small_arrays_can_share_a_page():
+    _c, _t, dsm = build_dsm(2)
+    a = SharedArray.allocate(dsm, "a", (4,), page_align=False)
+    b = SharedArray.allocate(dsm, "b", (4,), page_align=False)
+    pa = a.segment.addr // dsm.page_size
+    pb = b.segment.addr // dsm.page_size
+    assert pa == pb  # false sharing is representable
+
+
+def test_two_d_array_flat_indexing():
+    cluster, _t, dsm = build_dsm(2)
+    a = SharedArray.allocate(dsm, "a", (4, 4))
+
+    def worker():
+        v = a.on(0)
+        yield from v.set(np.arange(16.0))
+        row2 = yield from v.get(8, 12)
+        assert np.array_equal(row2, [8, 9, 10, 11])
+
+    run_all(cluster, [worker()])

@@ -1,0 +1,299 @@
+"""Unit tests for the discrete-event kernel: events, processes, time."""
+
+import pytest
+
+from repro.sim import Simulator, Event, Timeout, AllOf, AnyOf, Interrupted
+from repro.sim.core import EmptySchedule, UnhandledProcessError
+from repro.sim.events import SimulationError
+
+
+def test_timeout_advances_time(sim):
+    log = []
+
+    def proc():
+        yield sim.timeout(1.5)
+        log.append(sim.now)
+        yield sim.timeout(0.5)
+        log.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert log == [1.5, 2.0]
+
+
+def test_negative_timeout_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_timeout_carries_value(sim):
+    out = []
+
+    def proc():
+        v = yield sim.timeout(1.0, value="hello")
+        out.append(v)
+
+    sim.process(proc())
+    sim.run()
+    assert out == ["hello"]
+
+
+def test_event_succeed_wakes_waiter_with_value(sim):
+    ev = sim.event()
+    out = []
+
+    def waiter():
+        v = yield ev
+        out.append((sim.now, v))
+
+    def firer():
+        yield sim.timeout(3.0)
+        ev.succeed(42)
+
+    sim.process(waiter())
+    sim.process(firer())
+    sim.run()
+    assert out == [(3.0, 42)]
+
+
+def test_event_double_trigger_rejected(sim):
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_throws_into_process(sim):
+    ev = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except RuntimeError as e:
+            caught.append(str(e))
+
+    sim.process(waiter())
+    ev.fail(RuntimeError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_fail_requires_exception_instance(sim):
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_process_return_value_propagates(sim):
+    def inner():
+        yield sim.timeout(1)
+        return 99
+
+    def outer():
+        v = yield sim.process(inner())
+        return v + 1
+
+    p = sim.process(outer())
+    sim.run()
+    assert p.value == 100
+
+
+def test_yield_from_composes_generators(sim):
+    def sub():
+        yield sim.timeout(1)
+        return "sub"
+
+    def main():
+        v = yield from sub()
+        return v + "-main"
+
+    p = sim.process(main())
+    sim.run()
+    assert p.value == "sub-main"
+
+
+def test_unhandled_process_exception_surfaces():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise ValueError("kaput")
+
+    sim.process(bad())
+    with pytest.raises(UnhandledProcessError):
+        sim.run()
+
+
+def test_waited_on_failure_is_rethrown_not_crashed(sim):
+    def bad():
+        yield sim.timeout(1)
+        raise ValueError("kaput")
+
+    caught = []
+
+    def watcher():
+        try:
+            yield sim.process(bad())
+        except ValueError:
+            caught.append(True)
+
+    sim.process(watcher())
+    sim.run()
+    assert caught == [True]
+
+
+def test_yielding_non_event_is_an_error(sim):
+    def bad():
+        yield 42
+
+    sim.process(bad())
+    with pytest.raises(UnhandledProcessError):
+        sim.run()
+
+
+def test_deterministic_fifo_order_at_same_time(sim):
+    order = []
+
+    def proc(i):
+        yield sim.timeout(1.0)
+        order.append(i)
+
+    for i in range(10):
+        sim.process(proc(i))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_run_until_limits_time(sim):
+    log = []
+
+    def proc():
+        for _ in range(10):
+            yield sim.timeout(1)
+            log.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=4.5)
+    assert log == [1, 2, 3, 4]
+    assert sim.now == 4.5
+
+
+def test_run_until_in_past_rejected(sim):
+    def proc():
+        yield sim.timeout(10)
+
+    sim.process(proc())
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.run(until=5)
+
+
+def test_step_on_empty_schedule_raises(sim):
+    with pytest.raises(EmptySchedule):
+        sim.step()
+
+
+def test_run_until_complete_returns_value(sim):
+    def proc():
+        yield sim.timeout(2)
+        return "done"
+
+    p = sim.process(proc())
+    assert sim.run_until_complete(p) == "done"
+
+
+def test_run_until_complete_detects_deadlock(sim):
+    ev = sim.event()  # never fires
+
+    def proc():
+        yield ev
+
+    p = sim.process(proc())
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_complete(p)
+
+
+def test_run_until_complete_time_limit(sim):
+    def proc():
+        yield sim.timeout(100)
+
+    p = sim.process(proc())
+    with pytest.raises(SimulationError, match="limit"):
+        sim.run_until_complete(p, limit=10)
+
+
+def test_allof_gathers_values(sim):
+    def proc(i):
+        yield sim.timeout(i)
+        return i * 10
+
+    procs = [sim.process(proc(i)) for i in range(1, 4)]
+
+    out = []
+
+    def waiter():
+        values = yield AllOf(sim, procs)
+        out.append(values)
+
+    sim.process(waiter())
+    sim.run()
+    assert out == [{0: 10, 1: 20, 2: 30}]
+    assert sim.now == 3
+
+
+def test_anyof_fires_on_first(sim):
+    slow = sim.timeout(10, value="slow")
+    fast = sim.timeout(1, value="fast")
+    out = []
+
+    def waiter():
+        got = yield AnyOf(sim, [slow, fast])
+        out.append((sim.now, got))
+
+    sim.process(waiter())
+    sim.run()
+    assert out[0][0] == 1
+    assert out[0][1] == {1: "fast"}
+
+
+def test_allof_empty_fires_immediately(sim):
+    out = []
+
+    def waiter():
+        v = yield AllOf(sim, [])
+        out.append(v)
+
+    sim.process(waiter())
+    sim.run()
+    assert out == [{}]
+
+
+def test_interrupt_throws_interrupted(sim):
+    caught = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100)
+        except Interrupted as e:
+            caught.append((sim.now, e.cause))
+
+    p = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(5)
+        p.interrupt("wakeup")
+
+    sim.process(interrupter())
+    sim.run()
+    assert caught == [(5, "wakeup")]
+
+
+def test_events_processed_counter(sim):
+    def proc():
+        yield sim.timeout(1)
+        yield sim.timeout(1)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.events_processed >= 3  # init + 2 timeouts
