@@ -19,6 +19,7 @@ from repro.bench.microbench import (
 from repro.bench.figures import (
     Series,
     FigureData,
+    registered_programs,
     fig6_critical,
     fig7_single,
     fig8_cg,
@@ -36,6 +37,7 @@ __all__ = [
     "sweep_directive",
     "Series",
     "FigureData",
+    "registered_programs",
     "fig6_critical",
     "fig7_single",
     "fig8_cg",

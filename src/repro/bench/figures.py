@@ -26,6 +26,43 @@ from repro.apps import ep, cg, helmholtz, md
 DEFAULT_NODES = (1, 2, 4, 8)
 
 
+def registered_programs() -> Dict[str, dict]:
+    """Registry of runnable figure workloads, by name.
+
+    Each entry maps to ``{"factory": () -> program, "pool_bytes": int,
+    "figure": str, "note": str}`` with scaled-down default sizes suitable
+    for interactive runs.  Consumed by the tracing CLI
+    (``python -m repro.trace``) and usable by any future bench driver;
+    the full-size figure sweeps remain the ``figN_*`` functions above.
+    """
+    return {
+        "helmholtz": {
+            "factory": lambda: helmholtz.make_program(n=48, m=48, max_iters=3),
+            "pool_bytes": 1 << 21,
+            "figure": "fig10",
+            "note": "Helmholtz/Jacobi 48x48, 3 iterations",
+        },
+        "ep": {
+            "factory": lambda: ep.make_program("T"),
+            "pool_bytes": 1 << 20,
+            "figure": "fig9",
+            "note": "NAS EP class T",
+        },
+        "cg": {
+            "factory": lambda: cg.make_program("S", niter=1),
+            "pool_bytes": 1 << 23,
+            "figure": "fig8",
+            "note": "NAS CG class S, 1 outer iteration",
+        },
+        "md": {
+            "factory": lambda: md.make_program(n_particles=48, steps=2),
+            "pool_bytes": 1 << 21,
+            "figure": "fig11",
+            "note": "MD 48 particles, 2 steps",
+        },
+    }
+
+
 @dataclass
 class Series:
     label: str

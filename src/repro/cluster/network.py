@@ -69,6 +69,12 @@ class Network:
         self.total_bytes += nbytes
         node.msgs_sent += 1
         node.bytes_sent += nbytes
+        tr = self.sim.trace
+        if tr is not None:
+            tr.instant(
+                "net", "msg-send", node=src, dst=dst, nbytes=nbytes,
+                tag=str(tag), seq=msg.seq,
+            )
 
         if src == dst:
             # Loopback: no NIC, just a copy cost, delivered immediately.
@@ -82,7 +88,10 @@ class Network:
         yield from node.busy_cpu(ic.send_cpu_time(nbytes))
         # NIC serialisation: holds the transmit engine for nbytes/bandwidth.
         tx_time = nbytes / ic.bandwidth
+        t0 = self.sim.now
         yield from node.nic_tx.execute(tx_time)
+        if tr is not None:
+            tr.span("net", "nic-tx", t0, node=src, dst=dst, nbytes=nbytes, seq=msg.seq)
         # Propagation through the switch: pure delay, then delivery.
         deliver = self.sim.timeout(ic.latency)
         deliver.add_callback(lambda ev: self._deliver(msg))
@@ -93,6 +102,12 @@ class Network:
         node = self.nodes[msg.dst]
         node.msgs_received += 1
         node.bytes_received += msg.nbytes
+        tr = self.sim.trace
+        if tr is not None:
+            tr.instant(
+                "net", "msg-deliver", node=msg.dst, tid="wire",
+                src=msg.src, nbytes=msg.nbytes, tag=str(msg.tag), seq=msg.seq,
+            )
         node.inbox.put(msg)
 
     def recv_cpu_time(self, nbytes: int) -> float:

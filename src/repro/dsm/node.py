@@ -50,6 +50,45 @@ _OS_PROFILES = {"linux-2.4": LINUX_24, "aix-4.3.3": AIX_433}
 
 @dataclass
 class DsmNodeStats:
+    """Per-node DSM protocol counters.
+
+    The sum over nodes (plus the system-wide ``home_migrations``) becomes
+    ``RunResult.dsm_stats``.  Each counter has a per-event counterpart in
+    :mod:`repro.trace` (category/name given below), so aggregates and
+    traces speak one vocabulary.
+
+    ====================  ======  =======================================  ==========================
+    key                   unit    meaning (trace counterpart)              paper figure it feeds
+    ====================  ======  =======================================  ==========================
+    read_faults           count   read faults on INVALID pages             Figs 8-11 (SDSM overhead)
+                                  (``dsm.page/fault`` kind=read)
+    write_faults          count   write faults: INVALID fetch-for-write    Figs 8-11
+                                  or READ_ONLY upgrade
+                                  (``dsm.page/fault`` kind=write[-upgrade])
+    pages_fetched         count   whole pages / homeless diffs pulled      Figs 8-11
+                                  from remote (``dsm.page/fetch``,
+                                  ``dsm.page/diff-pull``)
+    fetch_bytes           bytes   payload bytes of those fetches           traffic ablations
+    diffs_sent            count   diffs shipped to homes at releases       Fig 6 (critical), Figs 8-11
+                                  (``dsm.page/flush`` args ``diffs``)
+    diff_bytes            bytes   diff payload bytes                       traffic ablations
+    twins_created         count   twin copies made before first write      Fig 6 (twin/diff cost)
+                                  (``dsm.page/twin``)
+    barriers              count   HLRC barriers entered by this node       Figs 8-11 (barrier cost)
+                                  (``dsm.barrier/barrier`` spans)
+    lock_acquires         count   distributed lock acquires                Fig 6 (KDSM lock path)
+                                  (``dsm.lock/acquire`` spans)
+    lock_remote_acquires  count   ... whose manager is on another node     Fig 6 (lock hops)
+                                  (``dsm.lock/acquire`` remote=True)
+    invalidations         count   pages invalidated by write notices       Figs 8-11
+                                  (``dsm.page/page-state`` dst=INVALID)
+    blocked_waits         count   threads parked on an in-flight page      §5.2.3 TRANSIENT/BLOCKED
+                                  update (``dsm.page/page-wait`` spans)
+    fetches_served        count   fetch/diff requests served as home       comm-thread contention,
+                                  (``dsm.page/serve-fetch``)               §6.2 configurations
+    ====================  ======  =======================================  ==========================
+    """
+
     read_faults: int = 0
     write_faults: int = 0
     pages_fetched: int = 0
@@ -146,6 +185,12 @@ class DsmNode:
         if not is_valid_transition(old, new, reason):
             raise IllegalTransition(page, old, new, reason)
         self.state[page] = new
+        tr = self.sim.trace
+        if tr is not None:
+            tr.instant(
+                "dsm.page", "page-state", node=self.id,
+                page=page, src=old.name, dst=new.name, reason=reason,
+            )
 
     def page_range(self, addr: int, size: int) -> range:
         if size <= 0:
@@ -209,6 +254,7 @@ class DsmNode:
     # fault service (the SIGSEGV handler, §5.2.3)
     # ------------------------------------------------------------------
     def _service_fault(self, page: int, is_write: bool):
+        tr = self.sim.trace
         while True:
             st = self.state[page]
             if st == PageState.READ_ONLY:
@@ -216,6 +262,7 @@ class DsmNode:
                     return  # raced with another thread's completed fetch
                 # write fault on a valid clean page
                 self.stats.write_faults += 1
+                t0 = self.sim.now
                 yield from self.busy(self.cluster_config.fault_overhead)
                 if self.config.homeless or self.home[page] != self.id:
                     self._make_twin(page)
@@ -223,6 +270,9 @@ class DsmNode:
                 self._set_state(page, PageState.DIRTY, "write-fault")
                 self.space.protect(page, PROT_RW)
                 self.dirty.add(page)
+                if tr is not None:
+                    tr.span("dsm.page", "fault", t0, node=self.id,
+                            page=page, kind="write-upgrade")
                 return
             if st == PageState.DIRTY:
                 return  # already writable
@@ -231,6 +281,7 @@ class DsmNode:
                     self.stats.write_faults += 1
                 else:
                     self.stats.read_faults += 1
+                t0 = self.sim.now
                 self._set_state(page, PageState.TRANSIENT, "fault")
                 yield from self.busy(self.cluster_config.fault_overhead)
                 final_prot = PROT_RW if is_write else PROT_READ
@@ -251,6 +302,9 @@ class DsmNode:
                 waiter = self._page_waiters.pop(page, None)
                 if waiter is not None:
                     waiter.succeed()
+                if tr is not None:
+                    tr.span("dsm.page", "fault", t0, node=self.id,
+                            page=page, kind="write" if is_write else "read")
                 return
             # TRANSIENT or BLOCKED: some other thread is updating; wait.
             self.stats.blocked_waits += 1
@@ -260,12 +314,18 @@ class DsmNode:
             if waiter is None:
                 waiter = Event(self.sim, name=f"pagewait[{self.id}:{page}]")
                 self._page_waiters[page] = waiter
+            t0 = self.sim.now
             yield waiter
+            if tr is not None:
+                tr.span("dsm.page", "page-wait", t0, node=self.id, page=page)
             # loop: re-examine the state (may need to upgrade to write)
 
     def _make_twin(self, page: int) -> None:
         self.twins[page] = make_twin(self._page_view(page))
         self.stats.twins_created += 1
+        tr = self.sim.trace
+        if tr is not None:
+            tr.instant("dsm.page", "twin", node=self.id, page=page)
 
     def _page_view(self, page: int) -> np.ndarray:
         return self.phys.frame_view(page)
@@ -291,12 +351,17 @@ class DsmNode:
         assert home != self.id, f"node {self.id} faulted on page {page} it homes"
         req_id = self._next_req()
         ev = self._pending_event(req_id)
+        t0 = self.sim.now
         yield from self.net.send(
             self.id, home, 8, (page, self.id), tag=("dsm", "fetch", req_id)
         )
         data = yield ev
         self.stats.pages_fetched += 1
         self.stats.fetch_bytes += len(data)
+        tr = self.sim.trace
+        if tr is not None:
+            tr.span("dsm.page", "fetch", t0, node=self.id,
+                    page=page, home=home, nbytes=len(data))
         return data
 
     def _pull_missing_diffs(self, page: int):
@@ -305,6 +370,9 @@ class DsmNode:
         for data-race-free programs, so cross-writer order is free)."""
         records = self._missing.pop(page, [])
         view = self._page_view(page)
+        tr = self.sim.trace
+        t0 = self.sim.now
+        n_pulled = 0
         for epoch, writers in sorted(records):
             for w in writers:
                 req_id = self._next_req()
@@ -318,6 +386,9 @@ class DsmNode:
                 self.stats.fetch_bytes += nb
                 yield from self.busy(self.cluster_config.diff_apply_overhead)
                 apply_diff(view, diff)
+                n_pulled += 1
+        if tr is not None and records:
+            tr.span("dsm.page", "diff-pull", t0, node=self.id, page=page, diffs=n_pulled)
 
     # -- handlers run on the communication thread ------------------------
     def handle_dsm(self, msg):
@@ -362,6 +433,10 @@ class DsmNode:
         )
         self.stats.fetches_served += 1
         data = self._page_view(page).tobytes()
+        tr = self.sim.trace
+        if tr is not None:
+            tr.instant("dsm.page", "serve-fetch", node=self.id,
+                       page=page, requester=requester)
         yield from self.net.send(
             self.id, requester, len(data), data, tag=("dsm", "fetchR", req_id)
         )
@@ -372,6 +447,9 @@ class DsmNode:
         )
         yield from self.busy(self.cluster_config.diff_apply_overhead)
         apply_diff(self._page_view(page), diff)
+        tr = self.sim.trace
+        if tr is not None:
+            tr.instant("dsm.page", "diff-apply", node=self.id, page=page)
 
     # ------------------------------------------------------------------
     # flush: ship diffs of dirty pages to their homes (release operation)
@@ -383,6 +461,11 @@ class DsmNode:
         Homeless mode (*epoch* given): diffs are retained locally, keyed by
         the barrier epoch, for later pulling by faulting nodes."""
         self._interval += 1
+        tr = self.sim.trace
+        t0 = self.sim.now
+        n_dirty = len(self.dirty)
+        diffs_before = self.stats.diffs_sent
+        bytes_before = self.stats.diff_bytes
         notices = [WriteNotice(p, self.id, self._interval) for p in sorted(self.dirty)]
         if self.config.homeless:
             assert epoch is not None, "homeless flush requires a barrier epoch"
@@ -392,6 +475,8 @@ class DsmNode:
                 yield from self.busy(self.cluster_config.diff_overhead)
                 diff = compute_diff(twin, self._page_view(p))
                 self._diff_log[(p, epoch)] = diff
+            if tr is not None and n_dirty:
+                tr.span("dsm.page", "flush", t0, node=self.id, dirty=n_dirty, retained=True)
             return notices
         acks = []
         for p in sorted(self.dirty):
@@ -411,6 +496,12 @@ class DsmNode:
             yield from self.net.send(self.id, self.home[p], nb, (p, diff), tag=("dsm", "diff", req_id))
         for ev in acks:
             yield ev
+        if tr is not None and n_dirty:
+            tr.span(
+                "dsm.page", "flush", t0, node=self.id, dirty=n_dirty,
+                diffs=self.stats.diffs_sent - diffs_before,
+                nbytes=self.stats.diff_bytes - bytes_before,
+            )
         return notices
 
     def _close_interval(self) -> None:
@@ -449,6 +540,8 @@ class DsmNode:
         epoch = self._barrier_epoch
         self._barrier_epoch += 1
         self.stats.barriers += 1
+        tr = self.sim.trace
+        bar_t0 = self.sim.now
 
         flushed = yield from self._flush_dirty(epoch=epoch)
         self._close_interval()
@@ -466,8 +559,14 @@ class DsmNode:
         self._bar_wait[epoch] = wait
         payload = (self.id, notices)
         nb = 16 + WriteNotice.NBYTES * len(notices)
+        if tr is not None:
+            tr.instant("dsm.barrier", "arrive", node=self.id,
+                       epoch=epoch, notices=len(notices))
         yield from self.net.send(self.id, self.master_id, nb, payload, tag=("bar", "arr", epoch))
         inval_writers, new_homes = yield wait
+        if tr is not None:
+            tr.span("dsm.barrier", "barrier", bar_t0, node=self.id,
+                    epoch=epoch, notices=len(notices))
 
         if self.config.homeless:
             # record which writers' diffs this copy is missing, oldest first
@@ -509,6 +608,7 @@ class DsmNode:
         """Master: merge notices, decide home migration, send departures."""
         del self._bar_arrivals[epoch]
         writers_by_page = merge_notices(arrivals)
+        tr = self.sim.trace
         new_homes: Dict[int, int] = {}
         if self.config.home_migration:
             for page, writers in writers_by_page.items():
@@ -518,7 +618,13 @@ class DsmNode:
                     if sole != old_home:
                         new_homes[page] = sole
                         self.system.stats_home_migrations += 1
+                        if tr is not None:
+                            tr.instant("dsm.page", "home-migrate", node=self.id,
+                                       page=page, src=old_home, dst=sole, epoch=epoch)
                 # multiple writers: current home keeps highest priority (§5.2.2)
+        if tr is not None:
+            tr.instant("dsm.barrier", "release", node=self.id, epoch=epoch,
+                       pages=len(writers_by_page), migrations=len(new_homes))
         payload = (writers_by_page, new_homes)
         nb = 16 + 16 * len(writers_by_page) + 8 * len(new_homes)
         # small CPU cost for the merge itself
@@ -544,6 +650,8 @@ class DsmNode:
         ev = self._pending_event(req_id)
         if manager != self.id:
             self.stats.lock_remote_acquires += 1
+        tr = self.sim.trace
+        t0 = self.sim.now
         yield from self.net.send(
             self.id, manager, 12, (lock_id, self.id), tag=("lk", "acq", req_id)
         )
@@ -552,13 +660,23 @@ class DsmNode:
             while not ev.triggered:
                 yield from self.node.busy_cpu(self.config.spin_slice)
         notices = yield ev
+        inval_before = self.stats.invalidations
         for wn in notices:
             if wn.writer != self.id and self.home[wn.page] != self.id:
                 self._invalidate(wn.page)
+        if tr is not None:
+            tr.span(
+                "dsm.lock", "acquire", t0, node=self.id, lock=lock_id,
+                manager=manager, remote=manager != self.id,
+                notices=len(notices),
+                invalidated=self.stats.invalidations - inval_before,
+            )
 
     def lock_release(self, lock_id: int):
         """Flush modifications, hand write notices to the manager."""
         manager = self.lock_manager_of(lock_id)
+        tr = self.sim.trace
+        t0 = self.sim.now
         notices = yield from self._flush_dirty()
         self._close_interval()
         self._notices_since_barrier.extend(notices)
@@ -566,6 +684,9 @@ class DsmNode:
         yield from self.net.send(
             self.id, manager, nb, (lock_id, notices), tag=("lk", "rel", self._next_req())
         )
+        if tr is not None:
+            tr.span("dsm.lock", "release", t0, node=self.id, lock=lock_id,
+                    manager=manager, notices=len(notices))
 
     def handle_lock(self, msg):
         """Comm-thread handler for the 'lk' channel (manager side)."""
@@ -600,5 +721,9 @@ class DsmNode:
 
     def _grant(self, lock_id: int, requester: int, req_id: int, log: NoticeLog):
         notices = log.unseen_by(requester)
+        tr = self.sim.trace
+        if tr is not None:
+            tr.instant("dsm.lock", "grant", node=self.id, lock=lock_id,
+                       requester=requester, notices=len(notices))
         nb = 16 + WriteNotice.NBYTES * len(notices)
         yield from self.net.send(self.id, requester, nb, notices, tag=("lk", "gr", req_id))

@@ -74,3 +74,10 @@ class CommThread:
             yield from handler(msg)
             self.messages_handled += 1
             self.service_time += self.sim.now - t0
+            tr = self.sim.trace
+            if tr is not None:
+                # one span per drained message: recv CPU cost + handler run
+                tr.span(
+                    "mpi", "service", t0, node=self.node.id,
+                    channel=str(channel), nbytes=msg.nbytes, src=msg.src,
+                )

@@ -32,7 +32,7 @@ class Communicator:
         self.id = next(self._ids)
         self.size = cluster.n_nodes
         self._channel = f"mpi{self.id}"
-        self._queues = [MatchQueue(self.sim) for _ in range(self.size)]
+        self._queues = [MatchQueue(self.sim, node=r) for r in range(self.size)]
         self._coll_seq = [0 for _ in range(self.size)]
         self._ranks = [RankComm(self, r) for r in range(self.size)]
         for node_id, ct in enumerate(comm_threads):
@@ -102,6 +102,15 @@ class RankComm:
 
     def bcast(self, value: Any, root: int = 0):
         """MPI_Bcast via binomial tree; returns the broadcast value."""
+        sim = self.comm.sim
+        tr = sim.trace
+        t0 = sim.now
+        result = yield from self._bcast(value, root)
+        if tr is not None:
+            tr.span("mpi", "bcast", t0, node=self.rank, root=root)
+        return result
+
+    def _bcast(self, value: Any, root: int):
         self.comm.n_collectives += 1
         seq = self._next_seq()
         tag = ("coll", seq, "bc")
@@ -126,6 +135,15 @@ class RankComm:
 
     def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0):
         """MPI_Reduce via binomial tree; root returns the reduction, others None."""
+        sim = self.comm.sim
+        tr = sim.trace
+        t0 = sim.now
+        result = yield from self._reduce(value, op, root)
+        if tr is not None:
+            tr.span("mpi", "reduce", t0, node=self.rank, root=root)
+        return result
+
+    def _reduce(self, value: Any, op: ReduceOp, root: int):
         self.comm.n_collectives += 1
         seq = self._next_seq()
         tag = ("coll", seq, "rd")
@@ -156,8 +174,13 @@ class RankComm:
         depends on every rank's contribution) — the property ParADE uses to
         drop explicit barriers (§5.2.1).
         """
+        sim = self.comm.sim
+        tr = sim.trace
+        t0 = sim.now
         acc = yield from self.reduce(value, op=op, root=0)
         result = yield from self.bcast(acc, root=0)
+        if tr is not None:
+            tr.span("mpi", "allreduce", t0, node=self.rank)
         return result
 
     def barrier(self):

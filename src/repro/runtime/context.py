@@ -82,7 +82,14 @@ class ThreadCtx(_CtxBase):
     # -- barrier -------------------------------------------------------------
     def barrier(self):
         """#pragma omp barrier — hierarchical (pthread + DSM barrier)."""
-        yield from self.team.barrier(self._key("bar"))
+        tr = self.sim.trace
+        t0 = self.sim.now
+        key = self._key("bar")
+        yield from self.team.barrier(key)
+        if tr is not None:
+            # per-thread span: arrival-to-departure, showing barrier fan-in skew
+            tr.span("runtime", "omp-barrier", t0, node=self.node_id,
+                    tid_local=self.local_tid, encounter=key[1])
 
     # -- critical / atomic ----------------------------------------------------
     def critical_update(self, shared_scalar, delta, op: ReduceOp = SUM):

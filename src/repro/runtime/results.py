@@ -1,4 +1,11 @@
-"""Run results: value + virtual-time and protocol statistics."""
+"""Run results: value + virtual-time and protocol statistics.
+
+This module is the *aggregate* end of the observability story; the
+per-event end is :mod:`repro.trace`.  Both use one vocabulary: every
+key documented below appears verbatim in trace-event ``args`` or can be
+recomputed by summing the corresponding trace events (e.g. ``diffs_sent``
+is the count of ``dsm.page/flush`` span ``diffs`` args).
+"""
 
 from __future__ import annotations
 
@@ -8,7 +15,50 @@ from typing import Any, Dict
 
 @dataclass
 class RunResult:
-    """Outcome of :meth:`ParadeRuntime.run`."""
+    """Outcome of :meth:`ParadeRuntime.run`.
+
+    Statistics dictionaries
+    -----------------------
+
+    ``cluster_stats`` (hardware level; from :meth:`Cluster.stats`):
+
+    ================== ======= ====================================================
+    key                unit    meaning / figure consuming it
+    ================== ======= ====================================================
+    virtual_time       s       end-of-run virtual clock (== ``elapsed``)
+    total_messages     count   frames sent on the network (Figs 6-7 cost arguments)
+    total_bytes        bytes   wire bytes incl. 42 B/frame headers
+    events_processed   count   simulator events (run size / determinism checks)
+    compute_time       s       per-node application CPU time, summed over nodes
+    overhead_time      s       per-node protocol CPU time, summed over nodes
+    ================== ======= ====================================================
+
+    ``dsm_stats`` (protocol level; per-node
+    :class:`~repro.dsm.node.DsmNodeStats` summed over nodes, plus
+    ``home_migrations``) — see :class:`DsmNodeStats` for the per-key
+    documentation.
+
+    ``mpi_stats``:
+
+    ============ ===== ========================================================
+    p2p          count point-to-point sends (collective tree edges included)
+    collectives  count collective *calls* across ranks (Bcast/Reduce/... each
+                       counts once per participating rank)
+    ============ ===== ========================================================
+
+    ``node_profile`` rows (one dict per node; consumed by
+    :meth:`node_report` and the §8 adaptive-configuration search):
+
+    ============ ======== ====================================================
+    node         id       cluster node id
+    mhz          MHz      modelled CPU clock (heterogeneous-cluster ablation)
+    compute      s        application CPU time on this node
+    overhead     s        protocol CPU time (faults, diffs, message service)
+    busy_frac    0..1     CPU busy fraction (compute+overhead vs capacity)
+    msgs_sent    count    frames this node put on the wire
+    bytes_sent   bytes    wire bytes sent incl. headers
+    ============ ======== ====================================================
+    """
 
     value: Any
     #: end-to-end virtual seconds of the whole program
@@ -26,7 +76,12 @@ class RunResult:
         """Per-node breakdown: compute vs protocol-overhead vs idle CPU
         time, message counts and bytes — a quick profile of where the run
         went (the measurement the paper's §8 adaptive-configuration idea
-        needs)."""
+        needs).
+
+        Rows missing optional keys (e.g. profiles recorded by external
+        drivers or older result files) render with zero defaults instead
+        of raising; only ``node`` is required.
+        """
         if not self.node_profile:
             return "(no per-node profile recorded)"
         header = (
@@ -36,9 +91,12 @@ class RunResult:
         lines = [header, "-" * len(header)]
         for row in self.node_profile:
             lines.append(
-                f"{row['node']:>4} {row['mhz']:>5} {row['compute'] * 1e3:>11.3f} "
-                f"{row['overhead'] * 1e3:>12.3f} {row['busy_frac'] * 100:>10.1f}% "
-                f"{row['msgs_sent']:>9} {row['bytes_sent'] / 1024:>8.1f}"
+                f"{row.get('node', '?'):>4} {row.get('mhz', 0):>5} "
+                f"{row.get('compute', 0.0) * 1e3:>11.3f} "
+                f"{row.get('overhead', 0.0) * 1e3:>12.3f} "
+                f"{row.get('busy_frac', 0.0) * 100:>10.1f}% "
+                f"{row.get('msgs_sent', 0):>9} "
+                f"{row.get('bytes_sent', 0) / 1024:>8.1f}"
             )
         return "\n".join(lines)
 

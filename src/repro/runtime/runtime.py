@@ -162,6 +162,10 @@ class ParadeRuntime:
         yield from self.comm.rank(0).bcast(("region", self._region_seq), root=0)
         results = yield from self._run_region_on_node(0)
         self.region_time += self.sim.now - t0
+        tr = self.sim.trace
+        if tr is not None:
+            tr.span("runtime", "region", t0, node=0,
+                    seq=self._region_seq, threads_per_node=tpn)
         return results
 
     def _agent_loop(self, node_id: int):
@@ -174,6 +178,7 @@ class ParadeRuntime:
 
     def _run_region_on_node(self, node_id: int):
         body, args, tpn = self._region
+        t0 = self.sim.now
         # region-start consistency point: master's sequential writes flush,
         # stale worker copies invalidate
         yield from self.dsm.node(node_id).barrier()
@@ -186,6 +191,9 @@ class ParadeRuntime:
             for lt in range(tpn)
         ]
         joined = yield AllOf(self.sim, procs)
+        tr = self.sim.trace
+        if tr is not None:
+            tr.span("runtime", "node-region", t0, node=node_id, seq=self._region_seq)
         return [joined[i] for i in range(len(procs))]
 
     def _thread_main(self, tc: ThreadCtx, body: Callable, args: tuple):

@@ -35,6 +35,13 @@ class Simulator:
         self._heap: list = []
         self._seq = itertools.count()
         self._n_processed = 0
+        #: attached :class:`repro.trace.TraceRecorder`, or None (untraced).
+        #: Instrumentation throughout the stack guards on this being None,
+        #: which is the entire cost of tracing when it is off.
+        self.trace = None
+        #: the :class:`Process` currently advancing its generator; tracing
+        #: uses its label as the emitting track ("thread") name.
+        self.active_process = None
 
     # -- factories ----------------------------------------------------
     def event(self, name: str = "") -> Event:

@@ -71,41 +71,63 @@ class Process(Event):
                     pass
         self._target = None
 
-        while True:
-            try:
-                if event._ok:
-                    next_ev = self._gen.send(event._value)
-                else:
-                    event._defused = True
-                    next_ev = self._gen.throw(event._value)
-            except StopIteration as stop:
-                self.succeed(stop.value, priority=URGENT)
+        sim = self.sim
+        tr = sim.trace
+        prev_active = sim.active_process
+        sim.active_process = self
+        if tr is not None:
+            tr.instant("sim", "resume", tid=self.label)
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        next_ev = self._gen.send(event._value)
+                    else:
+                        event._defused = True
+                        next_ev = self._gen.throw(event._value)
+                except StopIteration as stop:
+                    if tr is not None:
+                        tr.instant("sim", "end", tid=self.label, ok=True)
+                    self.succeed(stop.value, priority=URGENT)
+                    return
+                except BaseException as exc:
+                    # Unhandled failure inside the process: fail the process
+                    # event.  If nobody waits on it the simulator will crash
+                    # loudly when it processes the failure.
+                    if tr is not None:
+                        tr.instant("sim", "end", tid=self.label, ok=False)
+                    self.fail(exc, priority=URGENT)
+                    return
+
+                if not isinstance(next_ev, Event):
+                    exc = TypeError(
+                        f"process {self.label!r} yielded {next_ev!r}; "
+                        "processes may only yield Events"
+                    )
+                    event = Event(self.sim)
+                    event._ok = False
+                    event._value = exc
+                    continue
+
+                if next_ev.processed:
+                    # Already done: continue synchronously with its outcome.
+                    event = next_ev
+                    continue
+
+                next_ev.add_callback(self._resume)
+                self._target = next_ev
+                if tr is not None:
+                    tr.instant(
+                        "sim",
+                        "block",
+                        tid=self.label,
+                        target=next_ev.name
+                        or getattr(next_ev, "label", "")
+                        or next_ev.__class__.__name__,
+                    )
                 return
-            except BaseException as exc:
-                # Unhandled failure inside the process: fail the process
-                # event.  If nobody waits on it the simulator will crash
-                # loudly when it processes the failure.
-                self.fail(exc, priority=URGENT)
-                return
-
-            if not isinstance(next_ev, Event):
-                exc = TypeError(
-                    f"process {self.label!r} yielded {next_ev!r}; "
-                    "processes may only yield Events"
-                )
-                event = Event(self.sim)
-                event._ok = False
-                event._value = exc
-                continue
-
-            if next_ev.processed:
-                # Already done: continue synchronously with its outcome.
-                event = next_ev
-                continue
-
-            next_ev.add_callback(self._resume)
-            self._target = next_ev
-            return
+        finally:
+            sim.active_process = prev_active
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = (

@@ -1,0 +1,143 @@
+"""Trace CLI: run a registered app with tracing on and export the trace.
+
+Usage::
+
+    python -m repro.trace                      # helmholtz, 4 nodes, parade
+    python -m repro.trace cg --nodes 8 --mode sdsm -o cg.trace.json
+    python -m repro.trace helmholtz --csv hh.csv --cats dsm.page,dsm.barrier
+    python -m repro.trace --list               # show registered workloads
+
+The JSON output loads directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``: each cluster node is a process, each simulation
+thread (OpenMP threads, the communication thread, node agents) is a
+track.  Unless ``--no-check`` is given, the run's recorded page-state
+transitions and barrier epochs are replayed against the protocol
+specification and violations fail the command (exit code 2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.trace.events import ALL_CATEGORIES
+from repro.trace.recorder import TraceRecorder
+from repro.trace.export import write_chrome_json, write_csv_events
+from repro.trace.checker import check_trace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="run a registered ParADE app with event tracing and "
+        "export a Chrome trace (Perfetto-loadable) plus optional CSV",
+    )
+    parser.add_argument(
+        "app", nargs="?", default="helmholtz",
+        help="registered workload name (see --list); default: helmholtz",
+    )
+    parser.add_argument("--list", action="store_true", help="list registered workloads and exit")
+    parser.add_argument("--nodes", type=int, default=4, help="cluster size (default 4)")
+    parser.add_argument(
+        "--mode", choices=("parade", "sdsm"), default="parade",
+        help="hybrid ParADE translation or conventional SDSM (default parade)",
+    )
+    parser.add_argument(
+        "--exec", dest="exec_name", default="2Thread-2CPU",
+        help="execution configuration: 1Thread-1CPU, 1Thread-2CPU or "
+        "2Thread-2CPU (default)",
+    )
+    parser.add_argument(
+        "-o", "--out", default="trace.json",
+        help="Chrome trace-event JSON output path (default trace.json)",
+    )
+    parser.add_argument("--csv", default=None, help="also write a flat CSV of events")
+    parser.add_argument(
+        "--ring", type=int, default=1 << 18,
+        help="trace ring capacity in events (default 262144); oldest evicted",
+    )
+    parser.add_argument(
+        "--cats", default=None,
+        help="comma-separated categories to record (default: all except 'sim'); "
+        f"known: {','.join(sorted(ALL_CATEGORIES))}",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="skip the protocol replay check of the recorded trace",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    # imported here so `--help` stays fast and dependency-light
+    from repro.bench.figures import registered_programs
+    from repro.runtime import ParadeRuntime, ALL_EXEC_CONFIGS
+
+    registry = registered_programs()
+    if args.list:
+        for name, entry in sorted(registry.items()):
+            print(f"{name:<12} {entry['figure']:<6} {entry['note']}")
+        return 0
+
+    entry = registry.get(args.app)
+    if entry is None:
+        print(
+            f"unknown app {args.app!r}; registered: {', '.join(sorted(registry))}",
+            file=sys.stderr,
+        )
+        return 1
+    exec_config = next((ec for ec in ALL_EXEC_CONFIGS if ec.name == args.exec_name), None)
+    if exec_config is None:
+        names = ", ".join(ec.name for ec in ALL_EXEC_CONFIGS)
+        print(f"unknown exec config {args.exec_name!r}; use one of: {names}", file=sys.stderr)
+        return 1
+    if args.ring <= 0:
+        print(f"--ring must be positive, got {args.ring}", file=sys.stderr)
+        return 1
+    if args.nodes < 1:
+        print(f"--nodes must be >= 1, got {args.nodes}", file=sys.stderr)
+        return 1
+    categories = None
+    if args.cats:
+        categories = frozenset(c.strip() for c in args.cats.split(",") if c.strip())
+        unknown = categories - ALL_CATEGORIES
+        if unknown:
+            print(f"unknown categories: {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 1
+
+    rt = ParadeRuntime(
+        n_nodes=args.nodes,
+        exec_config=exec_config,
+        mode=args.mode,
+        pool_bytes=entry["pool_bytes"],
+    )
+    recorder = TraceRecorder(rt.sim, capacity=args.ring, categories=categories)
+    result = rt.run(entry["factory"]())
+
+    events = recorder.events
+    label = f"{args.app}/{args.mode}/{args.nodes}n/{exec_config.name}"
+    n_records = write_chrome_json(events, args.out, label=label)
+    print(f"{label}: elapsed {result.elapsed * 1e3:.3f} ms (virtual)")
+    print(
+        f"trace: {len(events)} events ({recorder.n_dropped} evicted, "
+        f"ring {recorder.capacity}) -> {args.out} ({n_records} records)"
+    )
+    for cat, n in sorted(recorder.counts_by_category().items()):
+        print(f"  {cat:<12} {n}")
+    if args.csv:
+        n_rows = write_csv_events(events, args.csv)
+        print(f"csv  : {n_rows} rows -> {args.csv}")
+
+    if not args.no_check:
+        report = check_trace(events)
+        print(report.summary())
+        if not report.ok:
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

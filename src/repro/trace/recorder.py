@@ -1,0 +1,162 @@
+"""The bounded trace recorder.
+
+Lifecycle::
+
+    rec = TraceRecorder(sim, capacity=1 << 16)   # attaches to sim.trace
+    ... run the program ...
+    events = rec.drain()                          # or iterate rec.events
+
+Instrumentation sites follow one pattern and are zero-cost when no
+recorder is attached (``sim.trace is None`` — one load and one compare,
+no allocation)::
+
+    tr = self.sim.trace
+    if tr is not None:
+        tr.instant(CAT_PAGE, "twin", node=self.id, page=page)
+
+Spans capture their own start time so the site needs no recorder state::
+
+    tr = self.sim.trace
+    t0 = self.sim.now
+    ...  # yield from the work being measured
+    if tr is not None:
+        tr.span(CAT_PAGE, "fetch", t0, node=self.id, page=page)
+
+The ring is a ``deque(maxlen=capacity)``: when full, the *oldest* events
+are evicted (``n_dropped`` counts them), so memory is bounded by the
+configured capacity regardless of run length, and the tail of the run —
+usually what you are debugging — is what survives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional
+
+from repro.trace.events import TraceEvent, DEFAULT_CATEGORIES
+
+
+class TraceRecorder:
+    """Bounded ring buffer of :class:`TraceEvent`, bound to one simulator.
+
+    Parameters
+    ----------
+    sim : the :class:`~repro.sim.Simulator` whose clock stamps events;
+        the recorder installs itself as ``sim.trace`` unless
+        ``attach=False``.
+    capacity : ring size in events; oldest events are evicted when full.
+    categories : set of category constants to record;
+        ``None`` means :data:`~repro.trace.events.DEFAULT_CATEGORIES`
+        (everything except the noisy kernel-scheduler category).
+    """
+
+    __slots__ = ("sim", "capacity", "categories", "enabled", "n_emitted", "_ring")
+
+    def __init__(
+        self,
+        sim,
+        capacity: int = 1 << 16,
+        categories: Optional[Iterable[str]] = None,
+        attach: bool = True,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"trace ring capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.categories: FrozenSet[str] = (
+            DEFAULT_CATEGORIES if categories is None else frozenset(categories)
+        )
+        #: master switch; ``False`` makes emit calls record nothing
+        self.enabled = True
+        #: events offered and accepted (before eviction)
+        self.n_emitted = 0
+        self._ring: deque = deque(maxlen=capacity)
+        if attach:
+            self.attach()
+
+    # -- lifecycle ------------------------------------------------------
+    def attach(self) -> "TraceRecorder":
+        """Install as ``sim.trace`` so instrumentation sites find us."""
+        self.sim.trace = self
+        return self
+
+    def detach(self) -> "TraceRecorder":
+        """Stop recording by unhooking from the simulator."""
+        if getattr(self.sim, "trace", None) is self:
+            self.sim.trace = None
+        return self
+
+    # -- emission -------------------------------------------------------
+    def _tid(self) -> str:
+        proc = self.sim.active_process
+        return proc.label if proc is not None else "main"
+
+    def instant(
+        self, cat: str, name: str, node: int = -1, tid: Optional[str] = None, **args: Any
+    ) -> None:
+        """Record a point event at the current virtual time."""
+        if not self.enabled or cat not in self.categories:
+            return
+        self.n_emitted += 1
+        self._ring.append(
+            TraceEvent(
+                self.sim.now, cat, name, node=node, tid=tid or self._tid(), args=args or None
+            )
+        )
+
+    def span(
+        self,
+        cat: str,
+        name: str,
+        t0: float,
+        node: int = -1,
+        tid: Optional[str] = None,
+        **args: Any,
+    ) -> None:
+        """Record a completed span that started at virtual time *t0*."""
+        if not self.enabled or cat not in self.categories:
+            return
+        self.n_emitted += 1
+        self._ring.append(
+            TraceEvent(
+                t0,
+                cat,
+                name,
+                node=node,
+                tid=tid or self._tid(),
+                dur=max(0.0, self.sim.now - t0),
+                args=args or None,
+            )
+        )
+
+    # -- inspection -----------------------------------------------------
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Snapshot of the ring, oldest first (spans ordered by start)."""
+        return sorted(self._ring, key=lambda e: e.ts)
+
+    @property
+    def n_dropped(self) -> int:
+        """Events evicted from the ring so far."""
+        return self.n_emitted - len(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def drain(self) -> List[TraceEvent]:
+        """Return all buffered events (oldest first) and clear the ring."""
+        out = self.events
+        self._ring.clear()
+        return out
+
+    def counts_by_category(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for ev in self._ring:
+            out[ev.cat] = out.get(ev.cat, 0) + 1
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TraceRecorder {len(self._ring)}/{self.capacity} events, "
+            f"{self.n_dropped} dropped, cats={sorted(self.categories)}>"
+        )

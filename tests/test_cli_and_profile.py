@@ -108,3 +108,27 @@ def test_node_report_empty_without_profile():
 
     r = RunResult(value=None, elapsed=0.0, region_time=0.0)
     assert "no per-node profile" in r.node_report()
+
+
+def test_node_report_degrades_on_missing_optional_keys():
+    """Profile rows from external drivers / older result files may lack
+    optional keys; the report must render zeros, not raise KeyError."""
+    from repro.runtime.results import RunResult
+
+    r = RunResult(
+        value=None,
+        elapsed=1.0,
+        region_time=0.5,
+        node_profile=[
+            {"node": 0},  # bare minimum
+            {"node": 1, "compute": 0.25, "msgs_sent": 7},  # partial
+            {},  # entirely empty row
+        ],
+    )
+    report = r.node_report()
+    assert "compute ms" in report
+    assert report.count("\n") == 4  # header + rule + 3 rows
+    rows = report.splitlines()[2:]
+    assert rows[0].strip().startswith("0")
+    assert "250.000" in rows[1] and " 7 " in rows[1]
+    assert rows[2].strip().startswith("?")
