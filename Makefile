@@ -1,0 +1,35 @@
+# Development targets.  Everything runs from the repo root and needs only
+# the baked-in toolchain (numpy/scipy/pytest; ruff if installed).
+
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: test test-slow lint bench-smoke bench perf-baseline perf micro
+
+test:            ## tier-1 suite
+	python -m pytest -q
+
+test-slow:       ## include NPB class-S reference validations
+	python -m pytest -q -m "slow or not slow"
+
+lint:            ## ruff (config in pyproject.toml); no-op if not installed
+	@command -v ruff >/dev/null 2>&1 && ruff check src tests benchmarks \
+		|| echo "ruff not installed; skipping lint"
+
+bench-smoke:     ## perf harness on the tiny basket (regression check)
+	python -m repro.bench.perf --smoke --repeat 1
+
+bench:           ## regenerate every paper figure
+	python -m pytest benchmarks/ --benchmark-only
+
+perf-baseline:   ## record pre-change wall-clock baseline -> BENCH_parade.json
+	python -m repro.bench.perf --baseline --repeat 4
+
+perf:            ## record current + speedup vs baseline -> BENCH_parade.json
+	python -m repro.bench.perf --repeat 4
+
+micro:           ## micro-benchmarks of the hot-path kernels
+	python benchmarks/bench_microkernels.py
+
+help:
+	@grep -E '^[a-z-]+: ' Makefile | sed 's/:.*##/\t/'

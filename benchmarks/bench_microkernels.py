@@ -1,0 +1,133 @@
+"""Micro-benchmarks for the hot-path kernels of the DSM engine.
+
+Times ``compute_diff`` / ``apply_diff`` / ``check_range`` (the three
+kernels the hot-path PR vectorised) on realistic inputs: float-update
+pages with scattered multi-byte runs — the distribution Jacobi/CG updates
+actually produce — plus dense and sparse extremes.  Run directly for a
+table of wall-clock timings::
+
+    PYTHONPATH=src python benchmarks/bench_microkernels.py
+
+or through pytest, where each case asserts a generous per-call ceiling so
+a catastrophic regression (e.g. an accidental per-byte Python loop) fails
+tier-1 without making the suite flaky on slow hosts.
+"""
+
+from __future__ import annotations
+
+import timeit
+
+import numpy as np
+
+from repro.dsm.diffs import apply_diff, compute_diff, make_twin
+from repro.vm import AddressSpace, PhysicalMemory, PROT_READ, PROT_RW
+
+PAGE = 4096
+
+#: generous ceilings (seconds per call) — catch order-of-magnitude
+#: regressions only, not host noise
+CEILING_COMPUTE_DIFF = 2e-3
+CEILING_APPLY_DIFF = 2e-3
+CEILING_CHECK_RANGE = 5e-4
+
+
+def _float_update_page(seed: int = 0):
+    """A page of float64s after a Jacobi-style update: every value nudged,
+    but high bytes often unchanged -> many short runs."""
+    rng = np.random.default_rng(seed)
+    vals = rng.random(PAGE // 8)
+    twin = make_twin(vals.view(np.uint8))
+    vals += rng.random(PAGE // 8) * 1e-3
+    return twin, vals.view(np.uint8).copy()
+
+
+def _sparse_page(seed: int = 1):
+    rng = np.random.default_rng(seed)
+    current = rng.integers(0, 256, PAGE).astype(np.uint8)
+    twin = make_twin(current)
+    current = current.copy()
+    current[rng.integers(0, PAGE, 16)] += 1
+    return twin, current
+
+
+def _dense_page():
+    twin = np.zeros(PAGE, dtype=np.uint8)
+    return twin, np.ones(PAGE, dtype=np.uint8)
+
+
+CASES = {
+    "float-update": _float_update_page,
+    "sparse-16": _sparse_page,
+    "dense-full": _dense_page,
+}
+
+
+def _per_call(fn, number: int = 200) -> float:
+    return timeit.timeit(fn, number=number) / number
+
+
+def bench_compute_diff() -> dict:
+    out = {}
+    for name, make in CASES.items():
+        twin, current = make()
+        out[name] = _per_call(lambda: compute_diff(twin, current))
+    return out
+
+
+def bench_apply_diff() -> dict:
+    out = {}
+    for name, make in CASES.items():
+        twin, current = make()
+        diff = compute_diff(twin, current)
+        target = make_twin(twin)
+        out[name] = _per_call(lambda: apply_diff(target, diff))
+    return out
+
+
+def _make_space(n_pages: int = 1024) -> AddressSpace:
+    space = AddressSpace(PhysicalMemory(n_pages, PAGE))
+    space.map_identity(n_pages, prot=PROT_READ)
+    for p in range(0, n_pages, 3):
+        space.protect(p, PROT_RW)
+    return space
+
+
+def bench_check_range() -> dict:
+    space = _make_space()
+    cases = {
+        "1-page": (100, 64),
+        "2-page": (PAGE - 32, 64),
+        "64-page": (0, 64 * PAGE),
+    }
+    out = {}
+    for name, (addr, size) in cases.items():
+        out[name] = _per_call(lambda: space.check_range(addr, size, write=False))
+    return out
+
+
+# -- pytest entry points -------------------------------------------------
+def test_compute_diff_speed():
+    assert max(bench_compute_diff().values()) < CEILING_COMPUTE_DIFF
+
+
+def test_apply_diff_speed():
+    assert max(bench_apply_diff().values()) < CEILING_APPLY_DIFF
+
+
+def test_check_range_speed():
+    assert max(bench_check_range().values()) < CEILING_CHECK_RANGE
+
+
+def main() -> None:
+    for title, fn in (
+        ("compute_diff", bench_compute_diff),
+        ("apply_diff", bench_apply_diff),
+        ("check_range", bench_check_range),
+    ):
+        print(f"{title}:")
+        for case, sec in fn().items():
+            print(f"  {case:<14} {sec * 1e6:8.2f} us/call")
+
+
+if __name__ == "__main__":
+    main()

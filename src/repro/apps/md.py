@@ -67,12 +67,13 @@ def compute_forces(
     rij = mine[:, None, :] - pos[None, :, :]  # (k, n, 3)
     d = np.sqrt((rij * rij).sum(axis=2))  # (k, n)
     # exclude self-interaction
-    for i in range(hi - lo):
-        d[i, lo + i] = np.inf
+    k = hi - lo
+    d[np.arange(k), np.arange(lo, hi)] = np.inf
     dcap = np.minimum(d, PI2)
-    pot = 0.5 * float((np.sin(dcap) ** 2)[np.isfinite(d)].sum())
+    sin_d = np.sin(dcap)
+    pot = 0.5 * float((sin_d**2)[np.isfinite(d)].sum())
     # force magnitude: -dV/dd = -2 sin cos for d < pi/2, else 0
-    dv = np.where(d < PI2, 2.0 * np.sin(dcap) * np.cos(dcap), 0.0)
+    dv = np.where(d < PI2, 2.0 * sin_d * np.cos(dcap), 0.0)
     with np.errstate(invalid="ignore", divide="ignore"):
         scale = np.where(np.isfinite(d) & (d > 0), dv / d, 0.0)
     forces = -(rij * scale[:, :, None]).sum(axis=1)

@@ -103,12 +103,17 @@ class NasRandom:
         if n == 0:
             return np.empty(0, dtype=np.float64)
         lanes = min(self.LANES, n)
-        # Seed the first row sequentially: x_1 .. x_lanes.
+        # Seed the first row x_1 .. x_lanes by jump-ahead doubling: once the
+        # first m elements exist, the next m are a^m times them
+        # (x_{j+m} = a^m x_j), so the row fills in O(log lanes) vector
+        # steps — bit-identical to stepping sequentially, both are exact.
         row = np.empty(lanes, dtype=np.uint64)
-        s = self.state
-        for j in range(lanes):
-            s = _modmul46_scalar(self.a, s)
-            row[j] = s
+        row[0] = _modmul46_scalar(self.a, self.state)
+        m = 1
+        while m < lanes:
+            k = min(m, lanes - m)
+            row[m : m + k] = _modmul46_vec(ipow46(self.a, m), row[:k])
+            m += k
         rows = (n + lanes - 1) // lanes
         out = np.empty(rows * lanes, dtype=np.uint64)
         out[:lanes] = row

@@ -1,0 +1,274 @@
+"""Wall-clock performance harness: the repo's perf trajectory recorder.
+
+Unlike the figure benchmarks (which report *virtual* seconds — the paper's
+metric), this harness measures how fast the *simulator itself* runs on the
+host: wall-clock seconds, simulator events per second, and page faults per
+second over a fixed workload basket (helmholtz, cg, ep, md).  Results are
+written to ``BENCH_parade.json`` at the repo root so each PR has a measured
+before/after trajectory.
+
+Usage::
+
+    python -m repro.bench.perf --baseline   # record the pre-change baseline
+    ... optimise ...
+    python -m repro.bench.perf              # record 'current' + speedup
+
+    python -m repro.bench.perf --smoke      # tiny basket (CI regression run)
+
+The simulator is deterministic, so ``events`` and ``virtual_s`` are exact
+run invariants (the harness asserts this across repeats); only ``wall_s``
+carries host noise, which ``--repeat`` (best-of) suppresses.
+
+See ``docs/PERFORMANCE.md`` for how to read the output file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+#: output schema version
+SCHEMA = 1
+
+#: default output files (written into the current working directory,
+#: normally the repo root)
+DEFAULT_OUT = "BENCH_parade.json"
+SMOKE_OUT = "BENCH_smoke.json"
+
+
+def _full_basket() -> Dict[str, dict]:
+    """The fixed measurement basket.
+
+    Sizes are chosen so the simulation engine (not host numpy throughput
+    of the application kernels) dominates, and a full run stays under a
+    few seconds per workload.
+    """
+    from repro.apps import cg, ep, helmholtz, md
+
+    return {
+        "helmholtz": {
+            "factory": lambda: helmholtz.make_program(n=160, m=160, max_iters=10),
+            "pool_bytes": 1 << 23,
+            "note": "Helmholtz/Jacobi 160x160, 10 iterations",
+        },
+        "cg": {
+            "factory": lambda: cg.make_program("S", niter=1),
+            "pool_bytes": 1 << 23,
+            "note": "NAS CG class S, 1 outer iteration",
+        },
+        "ep": {
+            "factory": lambda: ep.make_program("T"),
+            "pool_bytes": 1 << 20,
+            "note": "NAS EP class T",
+        },
+        "md": {
+            "factory": lambda: md.make_program(n_particles=128, steps=6),
+            "pool_bytes": 1 << 22,
+            "note": "MD 128 particles, 6 steps",
+        },
+    }
+
+
+def _smoke_basket() -> Dict[str, dict]:
+    """Tiny basket exercising every workload; for CI regression runs."""
+    from repro.apps import cg, ep, helmholtz, md
+
+    return {
+        "helmholtz": {
+            "factory": lambda: helmholtz.make_program(n=24, m=24, max_iters=2),
+            "pool_bytes": 1 << 20,
+            "note": "smoke: Helmholtz 24x24, 2 iterations",
+        },
+        "cg": {
+            "factory": lambda: cg.make_program("T", niter=1),
+            "pool_bytes": 1 << 21,
+            "note": "smoke: NAS CG class T, 1 iteration",
+        },
+        "ep": {
+            "factory": lambda: ep.make_program("T"),
+            "pool_bytes": 1 << 20,
+            "note": "smoke: NAS EP class T",
+        },
+        "md": {
+            "factory": lambda: md.make_program(n_particles=24, steps=1),
+            "pool_bytes": 1 << 20,
+            "note": "smoke: MD 24 particles, 1 step",
+        },
+    }
+
+
+def basket(smoke: bool = False) -> Dict[str, dict]:
+    return _smoke_basket() if smoke else _full_basket()
+
+
+def measure_workload(
+    spec: dict, n_nodes: int = 4, repeat: int = 2
+) -> Dict[str, float]:
+    """Run one workload *repeat* times; report best-of wall clock.
+
+    Returns wall_s / virtual_s / events / events_per_s / faults /
+    faults_per_s.  Virtual results must be identical across repeats
+    (the simulator is deterministic) — a mismatch raises.
+    """
+    from repro.runtime import ParadeRuntime
+
+    best: Optional[Dict[str, float]] = None
+    for _ in range(max(1, repeat)):
+        rt = ParadeRuntime(n_nodes=n_nodes, pool_bytes=spec["pool_bytes"])
+        t0 = time.perf_counter()
+        res = rt.run(spec["factory"]())
+        wall = time.perf_counter() - t0
+        events = rt.sim.events_processed
+        faults = res.dsm_stats.get("read_faults", 0) + res.dsm_stats.get(
+            "write_faults", 0
+        )
+        rec = {
+            "wall_s": wall,
+            "virtual_s": res.elapsed,
+            "events": events,
+            "events_per_s": events / wall if wall > 0 else 0.0,
+            "faults": faults,
+            "faults_per_s": faults / wall if wall > 0 else 0.0,
+        }
+        if best is not None and (
+            rec["events"] != best["events"] or rec["virtual_s"] != best["virtual_s"]
+        ):
+            raise AssertionError(
+                f"non-deterministic run: {rec['events']} events / "
+                f"{rec['virtual_s']} s vs {best['events']} / {best['virtual_s']}"
+            )
+        if best is None or rec["wall_s"] < best["wall_s"]:
+            best = rec
+    assert best is not None
+    return best
+
+
+def run_basket(
+    smoke: bool = False,
+    n_nodes: int = 4,
+    repeat: int = 2,
+    workloads: Optional[List[str]] = None,
+    verbose: bool = True,
+) -> Dict[str, Dict[str, float]]:
+    """Measure every workload of the basket; returns {name: metrics}."""
+    bk = basket(smoke)
+    names = workloads or list(bk)
+    unknown = [n for n in names if n not in bk]
+    if unknown:
+        raise KeyError(f"unknown workload(s) {unknown}; choose from {sorted(bk)}")
+    results: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        rec = measure_workload(bk[name], n_nodes=n_nodes, repeat=repeat)
+        results[name] = rec
+        if verbose:
+            print(
+                f"  {name:<10} wall={rec['wall_s']:7.3f}s "
+                f"events={rec['events']:>8} "
+                f"ev/s={rec['events_per_s']:>11,.0f} "
+                f"faults/s={rec['faults_per_s']:>9,.0f}"
+            )
+    return results
+
+
+def aggregate_events_per_s(results: Dict[str, Dict[str, float]]) -> float:
+    """Basket throughput: total simulator events over total wall seconds."""
+    wall = sum(r["wall_s"] for r in results.values())
+    events = sum(r["events"] for r in results.values())
+    return events / wall if wall > 0 else 0.0
+
+
+def compute_speedup(
+    baseline: Dict[str, Dict[str, float]], current: Dict[str, Dict[str, float]]
+) -> Dict[str, object]:
+    """Events/sec speedup of *current* over *baseline*, per workload and
+    for the whole basket (total events / total wall)."""
+    per: Dict[str, float] = {}
+    for name, cur in current.items():
+        base = baseline.get(name)
+        if base and base.get("events_per_s"):
+            per[name] = cur["events_per_s"] / base["events_per_s"]
+    out: Dict[str, object] = {"per_workload": per}
+    base_agg = aggregate_events_per_s(
+        {k: v for k, v in baseline.items() if k in current}
+    )
+    cur_agg = aggregate_events_per_s(current)
+    if base_agg:
+        out["aggregate_events_per_s"] = cur_agg / base_agg
+    return out
+
+
+def load_report(path: str) -> dict:
+    if os.path.exists(path):
+        with open(path) as fh:
+            return json.load(fh)
+    return {}
+
+
+def write_report(path: str, report: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.bench.perf", description=__doc__.split("\n\n")[0]
+    )
+    ap.add_argument(
+        "--baseline",
+        action="store_true",
+        help="record results into the 'baseline' section (pre-change run)",
+    )
+    ap.add_argument(
+        "--smoke", action="store_true", help="tiny basket; CI regression mode"
+    )
+    ap.add_argument("--out", default=None, help="output JSON path")
+    ap.add_argument("--nodes", type=int, default=4, help="cluster size (default 4)")
+    ap.add_argument(
+        "--repeat", type=int, default=2, help="runs per workload, best-of (default 2)"
+    )
+    ap.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated subset of the basket (default: all)",
+    )
+    args = ap.parse_args(argv)
+
+    out = args.out or (SMOKE_OUT if args.smoke else DEFAULT_OUT)
+    names = args.workloads.split(",") if args.workloads else None
+    section = "baseline" if args.baseline else "current"
+    print(f"perf basket ({'smoke' if args.smoke else 'full'}) -> {out} [{section}]")
+
+    results = run_basket(
+        smoke=args.smoke, n_nodes=args.nodes, repeat=args.repeat, workloads=names
+    )
+
+    report = load_report(out)
+    report["schema"] = SCHEMA
+    report["label"] = "parade-perf-basket" + ("-smoke" if args.smoke else "")
+    report["nodes"] = args.nodes
+    report["workloads"] = {k: v["note"] for k, v in basket(args.smoke).items()}
+    report[section] = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "results": results,
+    }
+    if args.baseline:
+        # a fresh baseline invalidates any previous comparison
+        report.pop("current", None)
+        report.pop("speedup", None)
+    elif "baseline" in report:
+        report["speedup"] = compute_speedup(report["baseline"]["results"], results)
+        agg = report["speedup"].get("aggregate_events_per_s")
+        if agg:
+            print(f"  basket speedup (events/s): {agg:.2f}x vs baseline")
+    write_report(out, report)
+    print(f"  aggregate: {aggregate_events_per_s(results):,.0f} events/s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,7 @@ from typing import Any, List
 from repro.sim import Event
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A frame in flight (or delivered)."""
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.sim import Resource, Store
+from repro.sim import Resource, Store, Timeout
 
 
 class Node:
@@ -32,18 +32,32 @@ class Node:
         self.compute_time = 0.0
         self.overhead_time = 0.0
 
+    # compute/busy_cpu are the two hottest generators in the simulator
+    # (one per CPU burst); Resource.execute is inlined to save a
+    # delegation frame per burst — the event sequence (request grant,
+    # timeout, release) is identical.
     def compute(self, work_units: float, priority: int = 0):
         """Generator: occupy one CPU for *work_units* of application work."""
         seconds = self.config.compute_seconds(work_units, self.id)
         self.compute_time += seconds
-        yield from self.cpus.execute(seconds, priority=priority)
+        req = self.cpus.request(priority=priority)
+        yield req
+        try:
+            yield Timeout(self.sim, seconds)
+        finally:
+            self.cpus.release(req)
 
     def busy_cpu(self, seconds: float, priority: int = 0):
         """Generator: occupy one CPU for raw protocol-overhead *seconds*
         (already expressed in wall time; scaled by CPU speed)."""
         scaled = seconds / self.speed_factor
         self.overhead_time += scaled
-        yield from self.cpus.execute(scaled, priority=priority)
+        req = self.cpus.request(priority=priority)
+        yield req
+        try:
+            yield Timeout(self.sim, scaled)
+        finally:
+            self.cpus.release(req)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Node {self.id} ({self.config.cpu_mhz[self.id]} MHz x{self.config.cpus_per_node})>"

@@ -28,6 +28,18 @@ class DsmConfig:
     #: preferable — this flag exists to measure that claim).  Barrier
     #: synchronisation only; the lock protocol requires a home directory.
     homeless: bool = False
+    #: host-side (wall-clock) optimisation only — never changes virtual
+    #: time or protocol behaviour: accesses to already-valid page ranges
+    #: skip the generator fault loop via a version-stamped cache
+    #: (:meth:`DsmNode.try_fast_access`).  Off = always take the slow
+    #: path; the equivalence test pins both to identical traces.
+    fast_path: bool = True
+    #: coalesce diff runs separated by gaps of at most this many unchanged
+    #: bytes into one run (saves per-run headers at the cost of resending
+    #: the gap bytes).  0 = exact diffs.  Non-zero is safe only for pages
+    #: with a single writer per interval: the gap bytes overwrite the
+    #: home copy, clobbering concurrent writers of those bytes.
+    diff_gap: int = 0
 
     def replace(self, **kw) -> "DsmConfig":
         from dataclasses import replace as _replace

@@ -150,6 +150,12 @@ class DsmNode:
         self.dirty: Set[int] = set()
         self._page_waiters: Dict[int, Event] = {}
 
+        # fast-path cache: ranges validated against self.space.version;
+        # any protect/map (every state transition goes through protect)
+        # bumps the version and empties the cache lazily
+        self._fast_version = -1
+        self._fast_valid: Set[tuple] = set()
+
         # request/response plumbing
         self._pending: Dict[int, Event] = {}
         self._req_seq = itertools.count()
@@ -219,8 +225,36 @@ class DsmNode:
         return self.phys.buffer[addr : addr + size]
 
     # ------------------------------------------------------------------
-    # application access API (generators)
+    # application access API
     # ------------------------------------------------------------------
+    def try_fast_access(self, addr: int, nbytes: int, write: bool) -> bool:
+        """Non-generator fast path: True iff [addr, addr+nbytes) is already
+        accessible for the requested mode, so the caller may skip the
+        generator fault loop entirely.
+
+        Equivalent to :meth:`acquire_read`/:meth:`acquire_write` returning
+        without a fault: in that case those generators consume no virtual
+        time and take no protocol action, so skipping them is invisible to
+        the simulation.  Positive answers are cached per
+        ``(addr, nbytes, write)`` and stamped with
+        :attr:`AddressSpace.version`; any mapping or protection change
+        (every page-state transition performs an mprotect) invalidates the
+        whole cache.
+        """
+        if not self.config.fast_path:
+            return False
+        v = self.space.version
+        if v != self._fast_version:
+            self._fast_version = v
+            self._fast_valid.clear()
+        key = (addr, nbytes, write)
+        if key in self._fast_valid:
+            return True
+        if self.space.can_access(addr, nbytes, write):
+            self._fast_valid.add(key)
+            return True
+        return False
+
     def acquire_read(self, addr: int, size: int):
         """Ensure every page in [addr, addr+size) is locally readable."""
         while True:
@@ -241,13 +275,15 @@ class DsmNode:
 
     def read(self, addr: int, size: int):
         """Protection-checked read returning bytes (faults as needed)."""
-        yield from self.acquire_read(addr, size)
+        if not self.try_fast_access(addr, size, write=False):
+            yield from self.acquire_read(addr, size)
         return self.space.read(addr, size)
 
     def write(self, addr: int, data: bytes):
         """Protection-checked write (faults as needed)."""
         data = bytes(data)
-        yield from self.acquire_write(addr, len(data))
+        if not self.try_fast_access(addr, len(data), write=True):
+            yield from self.acquire_write(addr, len(data))
         self.space.write(addr, data)
 
     # ------------------------------------------------------------------
@@ -263,10 +299,10 @@ class DsmNode:
                 # write fault on a valid clean page
                 self.stats.write_faults += 1
                 t0 = self.sim.now
-                yield from self.busy(self.cluster_config.fault_overhead)
+                yield from self.node.busy_cpu(self.cluster_config.fault_overhead)
                 if self.config.homeless or self.home[page] != self.id:
                     self._make_twin(page)
-                yield from self.busy(self.cluster_config.mprotect_overhead)
+                yield from self.node.busy_cpu(self.cluster_config.mprotect_overhead)
                 self._set_state(page, PageState.DIRTY, "write-fault")
                 self.space.protect(page, PROT_RW)
                 self.dirty.add(page)
@@ -283,11 +319,11 @@ class DsmNode:
                     self.stats.read_faults += 1
                 t0 = self.sim.now
                 self._set_state(page, PageState.TRANSIENT, "fault")
-                yield from self.busy(self.cluster_config.fault_overhead)
+                yield from self.node.busy_cpu(self.cluster_config.fault_overhead)
                 final_prot = PROT_RW if is_write else PROT_READ
                 if self.config.homeless:
                     yield from self._pull_missing_diffs(page)
-                    yield from self.busy(self.cluster_config.mprotect_overhead)
+                    yield from self.node.busy_cpu(self.cluster_config.mprotect_overhead)
                     self.space.protect(page, final_prot)
                 else:
                     data = yield from self._fetch_page(page)
@@ -384,7 +420,7 @@ class DsmNode:
                 self.stats.pages_fetched += 1
                 nb = diff_nbytes(diff)
                 self.stats.fetch_bytes += nb
-                yield from self.busy(self.cluster_config.diff_apply_overhead)
+                yield from self.node.busy_cpu(self.cluster_config.diff_apply_overhead)
                 apply_diff(view, diff)
                 n_pulled += 1
         if tr is not None and records:
@@ -445,7 +481,7 @@ class DsmNode:
         assert self.home[page] == self.id, (
             f"diff for page {page} arrived at non-home {self.id}"
         )
-        yield from self.busy(self.cluster_config.diff_apply_overhead)
+        yield from self.node.busy_cpu(self.cluster_config.diff_apply_overhead)
         apply_diff(self._page_view(page), diff)
         tr = self.sim.trace
         if tr is not None:
@@ -472,8 +508,8 @@ class DsmNode:
             for p in sorted(self.dirty):
                 twin = self.twins.get(p)
                 assert twin is not None, f"dirty page {p} has no twin on {self.id}"
-                yield from self.busy(self.cluster_config.diff_overhead)
-                diff = compute_diff(twin, self._page_view(p))
+                yield from self.node.busy_cpu(self.cluster_config.diff_overhead)
+                diff = compute_diff(twin, self._page_view(p), self.config.diff_gap)
                 self._diff_log[(p, epoch)] = diff
             if tr is not None and n_dirty:
                 tr.span("dsm.page", "flush", t0, node=self.id, dirty=n_dirty, retained=True)
@@ -484,8 +520,8 @@ class DsmNode:
                 continue
             twin = self.twins.get(p)
             assert twin is not None, f"dirty non-home page {p} has no twin on {self.id}"
-            yield from self.busy(self.cluster_config.diff_overhead)
-            diff = compute_diff(twin, self._page_view(p))
+            yield from self.node.busy_cpu(self.cluster_config.diff_overhead)
+            diff = compute_diff(twin, self._page_view(p), self.config.diff_gap)
             if not diff:
                 continue
             req_id = self._next_req()
@@ -575,6 +611,8 @@ class DsmNode:
                 if others:
                     self._missing.setdefault(page, []).append((epoch, sorted(others)))
                     self._invalidate(page)
+            if tr is not None:
+                self._emit_census(tr, epoch)
             return
 
         # apply invalidations and the new home directory
@@ -585,6 +623,20 @@ class DsmNode:
                 self._invalidate(page)
         for page, new_home in new_homes.items():
             self.home[page] = new_home
+        if tr is not None:
+            self._emit_census(tr, epoch)
+
+    def _emit_census(self, tr, epoch: int) -> None:
+        """Counter sample of this node's page-state census (post-barrier).
+
+        All counter args must stay numeric series values: Chrome stacks
+        every ``args`` key as one band of the counter track.
+        """
+        del epoch  # census is stamped by virtual time, not epoch
+        counts = {st.name: 0 for st in PageState}
+        for st in self.state:
+            counts[st.name] += 1
+        tr.counter("counter", "page-census", node=self.id, **counts)
 
     def handle_barrier(self, msg):
         """Comm-thread handler for the 'bar' channel."""
@@ -628,7 +680,7 @@ class DsmNode:
         payload = (writers_by_page, new_homes)
         nb = 16 + 16 * len(writers_by_page) + 8 * len(new_homes)
         # small CPU cost for the merge itself
-        yield from self.busy(1e-6 + 0.2e-6 * len(writers_by_page))
+        yield from self.node.busy_cpu(1e-6 + 0.2e-6 * len(writers_by_page))
         for dst in range(self.system.cluster.n_nodes):
             yield from self.net.send(self.id, dst, nb, payload, tag=("bar", "dep", epoch))
 

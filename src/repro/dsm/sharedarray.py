@@ -99,13 +99,19 @@ class NodeArrayView:
         return raw.view(self.array.dtype)
 
     # -- generator accessors ------------------------------------------------
+    # Hot path: when the whole range is already valid for the requested
+    # mode (DsmNode.try_fast_access), skip constructing the acquire_*
+    # fault-loop generators — the accessor runs to completion without
+    # touching the simulator.  Callers still drive these with
+    # ``yield from``; a no-fault call simply never yields.
     def get(self, start: Optional[int] = None, stop: Optional[int] = None):
         """Validate + return a read-only flat view of elements [start, stop)."""
         s, e = self._resolve(start, stop)
         if e == s:
             return np.empty(0, dtype=self.array.dtype)
         addr, nbytes = self.array._flat_range(s, e)
-        yield from self.node.acquire_read(addr, nbytes)
+        if not self.node.try_fast_access(addr, nbytes, False):
+            yield from self.node.acquire_read(addr, nbytes)
         view = self._np_view(s, e)
         view.flags.writeable = False
         return view
@@ -116,7 +122,8 @@ class NodeArrayView:
         if e == s:
             return np.empty(0, dtype=self.array.dtype)
         addr, nbytes = self.array._flat_range(s, e)
-        yield from self.node.acquire_write(addr, nbytes)
+        if not self.node.try_fast_access(addr, nbytes, True):
+            yield from self.node.acquire_write(addr, nbytes)
         return self._np_view(s, e)
 
     def set(self, values, start: int = 0):

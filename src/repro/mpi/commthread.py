@@ -57,24 +57,31 @@ class CommThread:
         self.node.inbox.put(POISON)
 
     def _loop(self):
+        # one long-lived generator per node: hoist the per-message
+        # attribute chains out of the drain loop
+        sim = self.sim
+        node = self.node
+        inbox_get = node.inbox.get
+        busy_cpu = node.busy_cpu
+        recv_cpu_time = self.network.recv_cpu_time
+        handlers = self._handlers
+        priority = self.CPU_PRIORITY
         while True:
-            msg = yield self.node.inbox.get()
+            msg = yield inbox_get()
             if msg is POISON:
                 return
-            t0 = self.sim.now
-            yield from self.node.busy_cpu(
-                self.network.recv_cpu_time(msg.nbytes), priority=self.CPU_PRIORITY
-            )
+            t0 = sim.now
+            yield from busy_cpu(recv_cpu_time(msg.nbytes), priority=priority)
             channel = msg.tag[0] if isinstance(msg.tag, tuple) else msg.tag
-            handler = self._handlers.get(channel)
+            handler = handlers.get(channel)
             if handler is None:
                 raise RuntimeError(
                     f"node {self.node.id}: no handler for channel {channel!r} (msg {msg!r})"
                 )
             yield from handler(msg)
             self.messages_handled += 1
-            self.service_time += self.sim.now - t0
-            tr = self.sim.trace
+            self.service_time += sim.now - t0
+            tr = sim.trace
             if tr is not None:
                 # one span per drained message: recv CPU cost + handler run
                 tr.span(

@@ -11,7 +11,6 @@ this with the pthread lock it holds across the collective, §4.2).
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, List, Optional
 
 from repro.mpi.datatypes import nbytes_of
@@ -22,14 +21,16 @@ from repro.mpi.ops import ReduceOp, SUM
 class Communicator:
     """Cluster-wide communicator state; use :meth:`rank` for a bound view."""
 
-    _ids = itertools.count()
-
     def __init__(self, cluster, comm_threads: List):
         """*comm_threads* — one started :class:`CommThread` per node; the
         communicator registers its match handler on each."""
         self.cluster = cluster
         self.sim = cluster.sim
-        self.id = next(self._ids)
+        # Ids (and hence channel names, which appear in message tags and
+        # traces) are per-cluster, not process-global: two identical runs
+        # in one process must produce identical traces.
+        self.id = cluster.__dict__.setdefault("_n_communicators", 0)
+        cluster._n_communicators = self.id + 1
         self.size = cluster.n_nodes
         self._channel = f"mpi{self.id}"
         self._queues = [MatchQueue(self.sim, node=r) for r in range(self.size)]

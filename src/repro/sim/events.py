@@ -14,6 +14,7 @@ exception thrown into their generator).
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Iterable, List, Optional
 
 #: sentinel for "no value yet"
@@ -89,15 +90,23 @@ class Event:
 
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
-        if self.triggered:
+        if self._value is not PENDING:  # triggered, without the property hop
             raise SimulationError(f"event {self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim.schedule(self, delay=0.0, priority=priority)
+        # zero-delay schedule inlined (mirrors Simulator.schedule): succeed
+        # is the single most frequent scheduling call in the simulator
+        sim = self.sim
+        if priority == NORMAL:
+            sim._immediate.append((sim.now, NORMAL, next(sim._seq), self))
+        elif priority == URGENT:
+            sim._urgent.append((sim.now, URGENT, next(sim._seq), self))
+        else:
+            sim.schedule(self, delay=0.0, priority=priority)
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"event {self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -135,11 +144,22 @@ class Timeout(Event):
     def __init__(self, sim, delay: float, value: Any = None, name: str = ""):
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
-        super().__init__(sim, name=name)
+        # Event.__init__ and the schedule call inlined (mirrors
+        # Simulator.schedule): timeouts are created once per CPU burst and
+        # wire hop, the second-hottest allocation in the simulator
+        self.sim = sim
+        self.callbacks = []
+        self._defused = False
+        self.name = name
         self.delay = delay
         self._ok = True
         self._value = value
-        sim.schedule(self, delay=delay, priority=NORMAL)
+        if delay == 0.0:
+            sim._immediate.append((sim.now, NORMAL, next(sim._seq), self))
+        else:
+            heapq.heappush(
+                sim._heap, (sim.now + delay, NORMAL, next(sim._seq), self)
+            )
 
 
 class _Condition(Event):

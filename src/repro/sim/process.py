@@ -12,7 +12,7 @@ from __future__ import annotations
 from types import GeneratorType
 from typing import Any, Optional
 
-from repro.sim.events import Event, Interrupted, NORMAL, URGENT
+from repro.sim.events import Event, Interrupted, NORMAL, PENDING, URGENT
 
 
 class Process(Event):
@@ -59,7 +59,7 @@ class Process(Event):
 
     # ------------------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:  # triggered, without the property hop
             # Interrupted after termination or double-resume: ignore.
             return
         # Detach from a previous target when resumed by an interrupt.
@@ -77,14 +77,15 @@ class Process(Event):
         sim.active_process = self
         if tr is not None:
             tr.instant("sim", "resume", tid=self.label)
+        gen = self._gen
         try:
             while True:
                 try:
                     if event._ok:
-                        next_ev = self._gen.send(event._value)
+                        next_ev = gen.send(event._value)
                     else:
                         event._defused = True
-                        next_ev = self._gen.throw(event._value)
+                        next_ev = gen.throw(event._value)
                 except StopIteration as stop:
                     if tr is not None:
                         tr.instant("sim", "end", tid=self.label, ok=True)
@@ -99,7 +100,9 @@ class Process(Event):
                     self.fail(exc, priority=URGENT)
                     return
 
-                if not isinstance(next_ev, Event):
+                try:
+                    cbs = next_ev.callbacks
+                except AttributeError:
                     exc = TypeError(
                         f"process {self.label!r} yielded {next_ev!r}; "
                         "processes may only yield Events"
@@ -109,12 +112,12 @@ class Process(Event):
                     event._value = exc
                     continue
 
-                if next_ev.processed:
-                    # Already done: continue synchronously with its outcome.
+                if cbs is None:  # processed: continue
+                    # synchronously with its outcome
                     event = next_ev
                     continue
 
-                next_ev.add_callback(self._resume)
+                cbs.append(self._resume)
                 self._target = next_ev
                 if tr is not None:
                     tr.instant(

@@ -10,7 +10,7 @@ import heapq
 import itertools
 from typing import Optional
 
-from repro.sim.events import Event, SimulationError
+from repro.sim.events import Event, PENDING, SimulationError
 
 
 class Preempted(SimulationError):
@@ -23,7 +23,15 @@ class Request(Event):
     __slots__ = ("resource", "priority", "key")
 
     def __init__(self, resource: "Resource", priority: int):
-        super().__init__(resource.sim, name=f"req:{resource.name}")
+        # Event.__init__ inlined (with the name precomputed by the
+        # resource): requests are the single hottest event allocation,
+        # one per CPU burst
+        self.sim = resource.sim
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
+        self.name = resource._req_name
         self.resource = resource
         self.priority = priority
 
@@ -47,6 +55,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._req_name = f"req:{name}"
         self.users: set = set()
         self._queue: list = []
         self._seq = itertools.count()

@@ -18,6 +18,7 @@ class Store:
     def __init__(self, sim, name: str = "store"):
         self.sim = sim
         self.name = name
+        self._get_name = f"get:{name}"
         self._items: deque = deque()
         self._getters: deque = deque()
         self.total_put = 0
@@ -36,7 +37,7 @@ class Store:
 
     def get(self) -> Event:
         """Event that fires with the next item (FIFO)."""
-        ev = Event(self.sim, name=f"get:{self.name}")
+        ev = Event(self.sim, name=self._get_name)
         if self._items:
             ev.succeed(self._items.popleft())
         else:

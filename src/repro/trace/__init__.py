@@ -38,6 +38,7 @@ from repro.trace.events import (
     CAT_BARRIER,
     CAT_MPI,
     CAT_RUNTIME,
+    CAT_COUNTER,
     ALL_CATEGORIES,
     DEFAULT_CATEGORIES,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "CAT_BARRIER",
     "CAT_MPI",
     "CAT_RUNTIME",
+    "CAT_COUNTER",
     "ALL_CATEGORIES",
     "DEFAULT_CATEGORIES",
     "to_chrome",

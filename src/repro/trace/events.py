@@ -32,6 +32,9 @@ Categories
 :data:`CAT_MPI`           comm-thread message service, receive matching,
                           collectives
 :data:`CAT_RUNTIME`       parallel-region and OpenMP-barrier spans
+:data:`CAT_COUNTER`       sampled counter series (``ph: "C"`` in the Chrome
+                          export): event-queue depth, per-node page-state
+                          census at barriers
 ========================  ====================================================
 
 :data:`DEFAULT_CATEGORIES` is everything except :data:`CAT_SIM`: kernel
@@ -50,9 +53,10 @@ CAT_LOCK = "dsm.lock"
 CAT_BARRIER = "dsm.barrier"
 CAT_MPI = "mpi"
 CAT_RUNTIME = "runtime"
+CAT_COUNTER = "counter"
 
 ALL_CATEGORIES = frozenset(
-    {CAT_SIM, CAT_NET, CAT_PAGE, CAT_LOCK, CAT_BARRIER, CAT_MPI, CAT_RUNTIME}
+    {CAT_SIM, CAT_NET, CAT_PAGE, CAT_LOCK, CAT_BARRIER, CAT_MPI, CAT_RUNTIME, CAT_COUNTER}
 )
 DEFAULT_CATEGORIES = ALL_CATEGORIES - {CAT_SIM}
 
@@ -61,9 +65,14 @@ SIM_PID = 999
 
 
 class TraceEvent:
-    """One recorded instant or span; see module docstring for fields."""
+    """One recorded instant, span, or counter sample; see module docstring.
 
-    __slots__ = ("ts", "dur", "cat", "name", "node", "tid", "args")
+    ``ph`` is ``None`` for instants/spans (the exporter derives the Chrome
+    phase from ``dur``) and ``"C"`` for counter samples, whose ``args`` are
+    the numeric series values at ``ts``.
+    """
+
+    __slots__ = ("ts", "dur", "cat", "name", "node", "tid", "args", "ph")
 
     def __init__(
         self,
@@ -74,6 +83,7 @@ class TraceEvent:
         tid: str = "main",
         dur: Optional[float] = None,
         args: Optional[Dict[str, Any]] = None,
+        ph: Optional[str] = None,
     ):
         self.ts = ts
         self.dur = dur
@@ -82,13 +92,18 @@ class TraceEvent:
         self.node = node
         self.tid = tid
         self.args = args
+        self.ph = ph
 
     @property
     def is_span(self) -> bool:
         return self.dur is not None
 
+    @property
+    def is_counter(self) -> bool:
+        return self.ph == "C"
+
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "ts": self.ts,
             "dur": self.dur,
             "cat": self.cat,
@@ -97,6 +112,9 @@ class TraceEvent:
             "tid": self.tid,
             "args": dict(self.args) if self.args else {},
         }
+        if self.ph is not None:
+            out["ph"] = self.ph
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = f"span dur={self.dur:.3e}" if self.is_span else "instant"

@@ -89,7 +89,11 @@ def to_chrome(events: Iterable[TraceEvent], label: str = "repro") -> Dict[str, A
             "tid": tid_of(pid, ev.tid),
             "args": dict(ev.args) if ev.args else {},
         }
-        if ev.is_span:
+        if ev.is_counter:
+            # Counter series: args are the stacked numeric values.  Chrome
+            # keys counter tracks by (pid, name); tid is carried but unused.
+            record["ph"] = "C"
+        elif ev.is_span:
             record["ph"] = "X"
             record["dur"] = ev.dur * _S_TO_US
         else:

@@ -33,7 +33,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional
 
-from repro.trace.events import TraceEvent, DEFAULT_CATEGORIES
+from repro.trace.events import TraceEvent, DEFAULT_CATEGORIES, CAT_COUNTER
 
 
 class TraceRecorder:
@@ -48,9 +48,16 @@ class TraceRecorder:
     categories : set of category constants to record;
         ``None`` means :data:`~repro.trace.events.DEFAULT_CATEGORIES`
         (everything except the noisy kernel-scheduler category).
+    queue_stride : sample the simulator event-queue depth as a counter
+        series every this-many processed events (0 disables sampling).
+        The simulator calls :meth:`on_step` once per processed event when
+        a recorder is attached.
     """
 
-    __slots__ = ("sim", "capacity", "categories", "enabled", "n_emitted", "_ring")
+    __slots__ = (
+        "sim", "capacity", "categories", "enabled", "n_emitted", "_ring",
+        "queue_stride", "_step_count",
+    )
 
     def __init__(
         self,
@@ -58,6 +65,7 @@ class TraceRecorder:
         capacity: int = 1 << 16,
         categories: Optional[Iterable[str]] = None,
         attach: bool = True,
+        queue_stride: int = 64,
     ):
         if capacity <= 0:
             raise ValueError(f"trace ring capacity must be positive, got {capacity}")
@@ -71,6 +79,10 @@ class TraceRecorder:
         #: events offered and accepted (before eviction)
         self.n_emitted = 0
         self._ring: deque = deque(maxlen=capacity)
+        if queue_stride < 0:
+            raise ValueError(f"queue_stride must be >= 0, got {queue_stride}")
+        self.queue_stride = queue_stride
+        self._step_count = 0
         if attach:
             self.attach()
 
@@ -128,6 +140,31 @@ class TraceRecorder:
                 args=args or None,
             )
         )
+
+    def counter(
+        self, cat: str, name: str, node: int = -1, tid: str = "counters", **values: Any
+    ) -> None:
+        """Record one sample of a counter series (``ph:"C"`` on export).
+
+        *values* are the numeric series values at the current virtual time;
+        Chrome/Perfetto stack multiple keys of one counter name.
+        """
+        if not self.enabled or cat not in self.categories:
+            return
+        self.n_emitted += 1
+        self._ring.append(
+            TraceEvent(self.sim.now, cat, name, node=node, tid=tid, args=values, ph="C")
+        )
+
+    def on_step(self, queue_depth: int) -> None:
+        """Called by the simulator once per processed event; samples the
+        pending-event count every :attr:`queue_stride` events."""
+        stride = self.queue_stride
+        if not stride:
+            return
+        self._step_count += 1
+        if self._step_count % stride == 0:
+            self.counter(CAT_COUNTER, "queue-depth", depth=queue_depth)
 
     # -- inspection -----------------------------------------------------
     @property

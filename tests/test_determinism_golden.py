@@ -1,0 +1,145 @@
+"""Golden determinism tests: the hot-path engine is invisible to the protocol.
+
+The committed goldens under ``tests/goldens/`` were recorded *before* the
+fast-path / vectorisation work landed.  These tests re-run the same
+workloads and assert that virtual times, per-node protocol statistics, and
+the replay-checker-validated trace stream are **identical** — any
+divergence means an optimisation changed observable behaviour, not just
+wall-clock speed.
+
+Regenerate goldens (only when an *intentional* protocol change lands)::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_determinism_golden.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+
+from repro.apps import helmholtz
+from repro.runtime import ParadeRuntime
+from repro.trace import TraceRecorder, check_trace
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+GOLDEN = GOLDEN_DIR / "determinism_helmholtz_4node.json"
+
+#: fixed workload: helmholtz 48x48, 3 iterations, 4 nodes
+N_NODES = 4
+POOL_BYTES = 1 << 21
+
+
+def _make_runtime(**dsm_kw) -> ParadeRuntime:
+    kw = {}
+    if dsm_kw:
+        from repro.dsm.config import PARADE_DSM
+
+        kw["dsm_config"] = PARADE_DSM.replace(**dsm_kw)
+    return ParadeRuntime(n_nodes=N_NODES, pool_bytes=POOL_BYTES, **kw)
+
+
+def _run(traced: bool, **dsm_kw):
+    rt = _make_runtime(**dsm_kw)
+    rec = None
+    if traced:
+        rec = TraceRecorder(rt.sim, capacity=1 << 18, queue_stride=64)
+    res = rt.run(helmholtz.make_program(n=48, m=48, max_iters=3))
+    return rt, res, rec
+
+
+def _trace_digest(events) -> str:
+    h = hashlib.sha256()
+    for ev in events:
+        h.update(json.dumps(ev.as_dict(), sort_keys=True).encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def _per_node_stats(rt: ParadeRuntime):
+    return [dn.stats.as_dict() for dn in rt.dsm.nodes]
+
+
+def _snapshot() -> dict:
+    rt, res, rec = _run(traced=True)
+    report = check_trace(rec.events)
+    assert report.ok, report.summary()
+    return {
+        "elapsed": res.elapsed,
+        "region_time": res.region_time,
+        "events_processed": int(res.cluster_stats["events_processed"]),
+        "total_messages": int(res.cluster_stats["total_messages"]),
+        "total_bytes": int(res.cluster_stats["total_bytes"]),
+        "dsm_stats": res.dsm_stats,
+        "per_node_stats": _per_node_stats(rt),
+        "mpi_stats": res.mpi_stats,
+        "barrier_epochs": [dn._barrier_epoch for dn in rt.dsm.nodes],
+        "n_trace_events": rec.n_emitted,
+        "trace_digest": _trace_digest(rec.events),
+        "value_digest": hashlib.sha256(
+            json.dumps(res.value, sort_keys=True, default=repr).encode()
+        ).hexdigest(),
+    }
+
+
+def _load_or_regen() -> dict:
+    if os.environ.get("REPRO_REGEN_GOLDENS") or not GOLDEN.exists():
+        snap = _snapshot()
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        GOLDEN.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+    return json.loads(GOLDEN.read_text())
+
+
+def test_virtual_time_and_stats_match_golden():
+    """Stats-invariance regression: faults, fetches, diffs, lock hops and
+    barrier epochs must be byte-identical to the committed golden."""
+    golden = _load_or_regen()
+    rt, res, _ = _run(traced=False)
+    assert res.elapsed == golden["elapsed"]
+    assert res.region_time == golden["region_time"]
+    assert int(res.cluster_stats["total_messages"]) == golden["total_messages"]
+    assert int(res.cluster_stats["total_bytes"]) == golden["total_bytes"]
+    assert res.dsm_stats == golden["dsm_stats"]
+    assert _per_node_stats(rt) == golden["per_node_stats"]
+    assert res.mpi_stats == golden["mpi_stats"]
+    assert [dn._barrier_epoch for dn in rt.dsm.nodes] == golden["barrier_epochs"]
+
+
+def test_event_count_matches_golden():
+    golden = _load_or_regen()
+    _, res, _ = _run(traced=False)
+    assert int(res.cluster_stats["events_processed"]) == golden["events_processed"]
+
+
+def test_trace_stream_matches_golden_and_passes_replay_check():
+    """The full trace stream (every event, in order, with args) is part of
+    the behavioural contract: the fast path may not add, drop, or reorder
+    protocol events."""
+    golden = _load_or_regen()
+    _, _, rec = _run(traced=True)
+    report = check_trace(rec.events)
+    assert report.ok, report.summary()
+    assert rec.n_emitted == golden["n_trace_events"]
+    assert _trace_digest(rec.events) == golden["trace_digest"]
+
+
+def test_fast_path_on_off_equivalence():
+    """The fast-path cache is a wall-clock optimisation only: with it
+    disabled the run must produce the same virtual time, stats, and trace
+    stream, event for event."""
+    _, res_on, rec_on = _run(traced=True, fast_path=True)
+    _, res_off, rec_off = _run(traced=True, fast_path=False)
+    assert res_on.elapsed == res_off.elapsed
+    assert res_on.dsm_stats == res_off.dsm_stats
+    assert res_on.cluster_stats == res_off.cluster_stats
+    assert _trace_digest(rec_on.events) == _trace_digest(rec_off.events)
+
+
+def test_repeat_run_is_bit_identical():
+    """Two in-process runs of the same program are event-for-event equal."""
+    _, res_a, rec_a = _run(traced=True)
+    _, res_b, rec_b = _run(traced=True)
+    assert res_a.elapsed == res_b.elapsed
+    assert res_a.dsm_stats == res_b.dsm_stats
+    assert _trace_digest(rec_a.events) == _trace_digest(rec_b.events)
