@@ -38,8 +38,15 @@ class DsmConfig:
     #: bytes into one run (saves per-run headers at the cost of resending
     #: the gap bytes).  0 = exact diffs.  Non-zero is safe only for pages
     #: with a single writer per interval: the gap bytes overwrite the
-    #: home copy, clobbering concurrent writers of those bytes.
+    #: home copy, clobbering concurrent writers of those bytes — homes
+    #: enforce this and raise :class:`~repro.dsm.node.DiffGapClobber` on
+    #: a cross-writer overlap.
     diff_gap: int = 0
+    #: attach the happens-before sanitizer (:mod:`repro.sanitizer`) to the
+    #: run: vector-clock data-race detection over every DSM access plus
+    #: live protocol-invariant checks.  Diagnostic tool — adds host-side
+    #: cost, never changes virtual time.
+    sanitize: bool = False
 
     def replace(self, **kw) -> "DsmConfig":
         from dataclasses import replace as _replace

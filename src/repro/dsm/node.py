@@ -20,7 +20,7 @@ communication thread (see :class:`repro.mpi.CommThread`).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 import numpy as np
@@ -44,6 +44,28 @@ from repro.dsm.writenotice import WriteNotice, NoticeLog, merge_notices
 #: page kinds: HLRC-managed vs object-granularity (update protocol) regions
 KIND_HLRC = 0
 KIND_OBJECT = 1
+
+
+class DiffGapClobber(RuntimeError):
+    """A coalesced diff (``diff_gap > 0``) would overwrite bytes another
+    node wrote in the same interval — the documented single-writer
+    precondition of :func:`repro.dsm.diffs.compute_diff` is violated and
+    the home copy would be silently corrupted."""
+
+    def __init__(self, home: int, page: int, writer: int, other: int,
+                 lo: int, hi: int) -> None:
+        super().__init__(
+            f"diff_gap clobber on home {home}, page {page}: coalesced diff "
+            f"from node {writer} overlaps bytes [{lo:#x}, {hi:#x}) written by "
+            f"node {other} in the same interval; diff_gap > 0 requires a "
+            f"single writer per page per interval"
+        )
+        self.home = home
+        self.page = page
+        self.writer = writer
+        self.other = other
+        self.lo = lo
+        self.hi = hi
 
 _OS_PROFILES = {"linux-2.4": LINUX_24, "aix-4.3.3": AIX_433}
 
@@ -175,6 +197,20 @@ class DsmNode:
         # them in vector timestamps — we piggyback them conservatively)
         self._notices_since_barrier: List[WriteNotice] = []
 
+        # home-side bookkeeping for the diff_gap > 0 precondition:
+        # byte runs of diffs applied this interval, page -> [(seq, writer,
+        # lo, hi)], and a freshness floor per (page, requester) — a node
+        # that fetched the page after a diff applied already carries those
+        # bytes, so its later (lock-ordered) diff is not a second writer.
+        self._gap_runs: Dict[int, List[tuple]] = {}
+        self._gap_fresh: Dict[tuple, int] = {}
+        self._apply_seq = 0
+
+        # pages whose invalidation arrived while a fetch was in flight
+        # (TRANSIENT/BLOCKED); drained by the fetching thread, which
+        # discards the stale update and retries.
+        self._pending_inval: Set[int] = set()
+
         self.stats = DsmNodeStats()
 
     # -- strategy executor interface -----------------------------------
@@ -188,6 +224,9 @@ class DsmNode:
         old = self.state[page]
         if old == new:
             return
+        san = self.sim.san
+        if san is not None:
+            san.on_page_state(self.id, page, old, new, reason)
         if not is_valid_transition(old, new, reason):
             raise IllegalTransition(page, old, new, reason)
         self.state[page] = new
@@ -277,6 +316,9 @@ class DsmNode:
         """Protection-checked read returning bytes (faults as needed)."""
         if not self.try_fast_access(addr, size, write=False):
             yield from self.acquire_read(addr, size)
+        san = self.sim.san
+        if san is not None:
+            san.on_access(self.id, addr, size, False, f"[{addr:#x}+{size}]")
         return self.space.read(addr, size)
 
     def write(self, addr: int, data: bytes):
@@ -284,6 +326,9 @@ class DsmNode:
         data = bytes(data)
         if not self.try_fast_access(addr, len(data), write=True):
             yield from self.acquire_write(addr, len(data))
+        san = self.sim.san
+        if san is not None:
+            san.on_access(self.id, addr, len(data), True, f"[{addr:#x}+{len(data)}]")
         self.space.write(addr, data)
 
     # ------------------------------------------------------------------
@@ -300,9 +345,15 @@ class DsmNode:
                 self.stats.write_faults += 1
                 t0 = self.sim.now
                 yield from self.node.busy_cpu(self.cluster_config.fault_overhead)
+                if self.state[page] is not PageState.READ_ONLY:
+                    # a sibling invalidated the page (lock-grant notice)
+                    # or upgraded it first while we yielded; retry
+                    continue
                 if self.config.homeless or self.home[page] != self.id:
                     self._make_twin(page)
                 yield from self.node.busy_cpu(self.cluster_config.mprotect_overhead)
+                if self.state[page] is not PageState.READ_ONLY:
+                    continue  # _invalidate dropped the twin; retry
                 self._set_state(page, PageState.DIRTY, "write-fault")
                 self.space.protect(page, PROT_RW)
                 self.dirty.add(page)
@@ -328,6 +379,22 @@ class DsmNode:
                 else:
                     data = yield from self._fetch_page(page)
                     yield from self.strategy.update_page(self, self.space, page, data, final_prot)
+                if page in self._pending_inval:
+                    # An invalidation raced with this fetch (a sibling
+                    # thread applied a write notice for the page while
+                    # the fetch was in flight): the copy just installed
+                    # may be stale.  Close the update through the legal
+                    # Figure-5 chain, drop it, wake waiters, and retry.
+                    self._pending_inval.discard(page)
+                    self._set_state(page, PageState.READ_ONLY, "update-done")
+                    self._invalidate(page)
+                    waiter = self._page_waiters.pop(page, None)
+                    if waiter is not None:
+                        waiter.succeed()
+                    if tr is not None:
+                        tr.span("dsm.page", "fault", t0, node=self.id,
+                                page=page, kind="retry-invalidated")
+                    continue
                 if is_write:
                     if self.config.homeless or self.home[page] != self.id:
                         self._make_twin(page)
@@ -409,7 +476,12 @@ class DsmNode:
         tr = self.sim.trace
         t0 = self.sim.now
         n_pulled = 0
+        check_gap = self.config.diff_gap > 0
         for epoch, writers in sorted(records):
+            # runs applied within this epoch, for the coalescing guard:
+            # with diff_gap > 0 a gap byte carries the writer's (possibly
+            # stale) copy of another writer's same-epoch data
+            epoch_runs: List[tuple] = []
             for w in writers:
                 req_id = self._next_req()
                 ev = self._pending_event(req_id)
@@ -421,6 +493,15 @@ class DsmNode:
                 nb = diff_nbytes(diff)
                 self.stats.fetch_bytes += nb
                 yield from self.node.busy_cpu(self.cluster_config.diff_apply_overhead)
+                if check_gap:
+                    for off, data in diff:
+                        lo, hi = off, off + len(data)
+                        for ow, olo, ohi in epoch_runs:
+                            if ow != w and lo < ohi and olo < hi:
+                                raise DiffGapClobber(
+                                    self.id, page, w, ow, max(lo, olo), min(hi, ohi)
+                                )
+                        epoch_runs.append((w, lo, hi))
                 apply_diff(view, diff)
                 n_pulled += 1
         if tr is not None and records:
@@ -448,7 +529,7 @@ class DsmNode:
             self._resolve(req_id, msg.payload)
         elif kind == "diff":
             page, diff = msg.payload
-            yield from self._apply_incoming_diff(page, diff)
+            yield from self._apply_incoming_diff(page, diff, msg.src)
             yield from self.net.send(self.id, msg.src, 4, None, tag=("dsm", "diffR", req_id))
         elif kind == "diffR":
             self._resolve(req_id, None)
@@ -469,6 +550,10 @@ class DsmNode:
         )
         self.stats.fetches_served += 1
         data = self._page_view(page).tobytes()
+        if self.config.diff_gap > 0:
+            # the requester's copy now reflects every diff applied so far;
+            # diffs it sends later are not concurrent with those
+            self._gap_fresh[(page, requester)] = self._apply_seq
         tr = self.sim.trace
         if tr is not None:
             tr.instant("dsm.page", "serve-fetch", node=self.id,
@@ -477,15 +562,49 @@ class DsmNode:
             self.id, requester, len(data), data, tag=("dsm", "fetchR", req_id)
         )
 
-    def _apply_incoming_diff(self, page: int, diff):
+    def _apply_incoming_diff(self, page: int, diff, src: int):
         assert self.home[page] == self.id, (
             f"diff for page {page} arrived at non-home {self.id}"
         )
+        if self.config.diff_gap > 0 and diff:
+            self._check_gap_precondition(page, diff, src)
         yield from self.node.busy_cpu(self.cluster_config.diff_apply_overhead)
         apply_diff(self._page_view(page), diff)
         tr = self.sim.trace
         if tr is not None:
             tr.instant("dsm.page", "diff-apply", node=self.id, page=page)
+
+    def _check_gap_precondition(self, page: int, diff, src: int) -> None:
+        """Enforce compute_diff's single-writer-per-interval precondition.
+
+        With ``diff_gap > 0`` a diff run may contain *gap* bytes carrying
+        the writer's stale copy of data; if another node wrote overlapping
+        bytes of the same page in the same interval, applying this run
+        would silently clobber them — raise instead.  A writer whose copy
+        was fetched *after* an earlier diff applied (tracked by
+        ``_gap_fresh``, stamped at :meth:`_serve_fetch`) already carries
+        those bytes, so lock-ordered writer chains pass; the registry is
+        cleared when this node departs a barrier, bounding it to one
+        interval.
+        """
+        self._apply_seq += 1
+        seq = self._apply_seq
+        floor = self._gap_fresh.get((page, src), -1)
+        runs = self._gap_runs.setdefault(page, [])
+        stale = [r for r in runs if r[1] != src and r[0] > floor]
+        if stale:
+            for off, data in diff:
+                lo, hi = off, off + len(data)
+                for oseq, owriter, olo, ohi in stale:
+                    if lo < ohi and olo < hi:
+                        raise DiffGapClobber(
+                            self.id, page, src, owriter, max(lo, olo), min(hi, ohi)
+                        )
+            san = self.sim.san
+            if san is not None:
+                san.on_gap_writers(self.id, page, {src} | {r[1] for r in stale})
+        for off, data in diff:
+            runs.append((seq, src, off, off + len(data)))
 
     # ------------------------------------------------------------------
     # flush: ship diffs of dirty pages to their homes (release operation)
@@ -554,6 +673,15 @@ class DsmNode:
         st = self.state[page]
         if st == PageState.INVALID:
             return
+        if st in (PageState.TRANSIENT, PageState.BLOCKED):
+            # A write notice arrived while another thread's fetch of this
+            # page is still in flight (possible only with >1 app thread
+            # per node: this thread is applying lock-grant notices while
+            # a sibling faults).  The copy being installed may already be
+            # stale, but the frame cannot be yanked mid-update — defer:
+            # the fetching thread invalidates and retries on completion.
+            self._pending_inval.add(page)
+            return
         assert st in (PageState.READ_ONLY, PageState.DIRTY), (
             f"invalidate of page {page} in state {st.name} on node {self.id}"
         )
@@ -598,8 +726,18 @@ class DsmNode:
         if tr is not None:
             tr.instant("dsm.barrier", "arrive", node=self.id,
                        epoch=epoch, notices=len(notices))
+        san = self.sim.san
+        if san is not None:
+            san.on_barrier_arrive(self.id, epoch)
         yield from self.net.send(self.id, self.master_id, nb, payload, tag=("bar", "arr", epoch))
         inval_writers, new_homes = yield wait
+        if san is not None:
+            san.on_barrier_depart(self.id, epoch)
+        if self._gap_runs:
+            # the barrier closes every node's interval; diffs of the next
+            # interval start a fresh single-writer window
+            self._gap_runs.clear()
+            self._gap_fresh.clear()
         if tr is not None:
             tr.span("dsm.barrier", "barrier", bar_t0, node=self.id,
                     epoch=epoch, notices=len(notices))
@@ -712,6 +850,9 @@ class DsmNode:
             while not ev.triggered:
                 yield from self.node.busy_cpu(self.config.spin_slice)
         notices = yield ev
+        san = self.sim.san
+        if san is not None:
+            san.on_lock_acquire(("dsm-lock", lock_id))
         inval_before = self.stats.invalidations
         for wn in notices:
             if wn.writer != self.id and self.home[wn.page] != self.id:
@@ -729,6 +870,9 @@ class DsmNode:
         manager = self.lock_manager_of(lock_id)
         tr = self.sim.trace
         t0 = self.sim.now
+        san = self.sim.san
+        if san is not None:
+            san.on_lock_release(("dsm-lock", lock_id))
         notices = yield from self._flush_dirty()
         self._close_interval()
         self._notices_since_barrier.extend(notices)
@@ -772,10 +916,22 @@ class DsmNode:
         raise RuntimeError(f"unknown lock message kind {kind!r}")  # pragma: no cover
 
     def _grant(self, lock_id: int, requester: int, req_id: int, log: NoticeLog):
-        notices = log.unseen_by(requester)
+        start = log.cursor_of(requester)
+        pending = log.unseen_by(requester)
+        # A node's own notices carry no information for it (the writer never
+        # invalidates its own copy) — filter them here so the wire bytes and
+        # the grant's notices= accounting reflect what the acquirer can act
+        # on, instead of shipping them and discarding at apply time.  A
+        # first-time consumer otherwise pays for the lock's entire history
+        # of its own writes.
+        notices = [wn for wn in pending if wn.writer != requester]
         tr = self.sim.trace
         if tr is not None:
             tr.instant("dsm.lock", "grant", node=self.id, lock=lock_id,
                        requester=requester, notices=len(notices))
+        san = self.sim.san
+        if san is not None:
+            san.on_lock_grant(self.id, lock_id, requester,
+                              start, log.cursor_of(requester), len(log))
         nb = 16 + WriteNotice.NBYTES * len(notices)
         yield from self.net.send(self.id, requester, nb, notices, tag=("lk", "gr", req_id))

@@ -112,6 +112,10 @@ class NodeArrayView:
         addr, nbytes = self.array._flat_range(s, e)
         if not self.node.try_fast_access(addr, nbytes, False):
             yield from self.node.acquire_read(addr, nbytes)
+        san = self.node.sim.san
+        if san is not None and not self.array.segment.object_granularity:
+            san.on_access(self.node.id, addr, nbytes, False,
+                          f"{self.array.segment.name}[{s}:{e}]")
         view = self._np_view(s, e)
         view.flags.writeable = False
         return view
@@ -124,6 +128,10 @@ class NodeArrayView:
         addr, nbytes = self.array._flat_range(s, e)
         if not self.node.try_fast_access(addr, nbytes, True):
             yield from self.node.acquire_write(addr, nbytes)
+        san = self.node.sim.san
+        if san is not None and not self.array.segment.object_granularity:
+            san.on_access(self.node.id, addr, nbytes, True,
+                          f"{self.array.segment.name}[{s}:{e}]")
         return self._np_view(s, e)
 
     def set(self, values, start: int = 0):

@@ -38,6 +38,10 @@ class NoticeLog:
     def append(self, notices) -> None:
         self._log.extend(notices)
 
+    def cursor_of(self, consumer: int) -> int:
+        """Current cursor of *consumer* (0 for a first-time consumer)."""
+        return self._cursor.get(consumer, 0)
+
     def unseen_by(self, consumer: int) -> List[WriteNotice]:
         start = self._cursor.get(consumer, 0)
         pending = self._log[start:]

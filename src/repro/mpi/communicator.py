@@ -71,11 +71,23 @@ class RankComm:
         self._net = comm.cluster.network
 
     # -- point to point -------------------------------------------------
+    # Sanitizer happens-before: each blocking send pushes the sender's
+    # vector clock on a per-(src, dst, tag) FIFO; the matching recv pops
+    # it.  Because collectives are trees of these sends/recvs, this one
+    # edge gives every collective its synchronisation semantics for free.
+    # (irecv is not instrumented: completion via a bare event has no
+    # single hook point — none of the sanitized paths use it.)
+    def _hb_key(self, src: int, dst: int, tag: Any) -> tuple:
+        return (self.comm.id, src, dst, repr(tag))
+
     def send(self, value: Any, dest: int, tag: Any = 0):
         """Eager buffered send: returns once the frame left the NIC."""
         if not (0 <= dest < self.size):
             raise ValueError(f"invalid destination rank {dest}")
         self.comm.n_p2p += 1
+        san = self.comm.sim.san
+        if san is not None:
+            san.on_msg_send(self._hb_key(self.rank, dest, tag))
         yield from self._net.send(
             self.rank, dest, nbytes_of(value), value, tag=(self.comm._channel, tag)
         )
@@ -83,11 +95,17 @@ class RankComm:
     def recv(self, source: int = ANY_SOURCE, tag: Any = ANY_TAG):
         """Blocking receive; returns the payload."""
         src, t, payload = yield self._queue.post(source, tag)
+        san = self.comm.sim.san
+        if san is not None:
+            san.on_msg_recv(self._hb_key(src, self.rank, t))
         return payload
 
     def recv_with_status(self, source: int = ANY_SOURCE, tag: Any = ANY_TAG):
         """Blocking receive; returns (payload, source, tag)."""
         src, t, payload = yield self._queue.post(source, tag)
+        san = self.comm.sim.san
+        if san is not None:
+            san.on_msg_recv(self._hb_key(src, self.rank, t))
         return payload, src, t
 
     def irecv(self, source: int = ANY_SOURCE, tag: Any = ANY_TAG):

@@ -172,6 +172,11 @@ class ThreadCtx(_CtxBase):
             yield from self.dsm_node.lock_release(lock_id)
         yield from self.barrier()
         final = yield from view.get()
+        # Trailing barrier: without it the unlocked read above races with
+        # the next encounter's locked accumulation into the same scalar
+        # (found by repro.sanitizer — a thread could observe a later
+        # interval's partial sum).
+        yield from self.barrier()
         return final
 
     def reduce_value(self, partial, op: ReduceOp = SUM):
@@ -207,6 +212,14 @@ class ThreadCtx(_CtxBase):
             yield from self.dsm_node.lock_release(lock_id)
         yield from self.barrier()
         total = yield from sview.get()
+        # Trailing barrier: the unlocked read above must complete on every
+        # thread before any thread's *next* encounter resets the shared
+        # scratch inside ``single`` (which holds the flag lock, not the
+        # scratch lock — no ordering).  Without it a thread can read 0.0
+        # after the reset; repro.sanitizer flagged this as a read/write
+        # race on __reduce_scratch, and it surfaced as a nondeterministic
+        # ZeroDivisionError in cg/sdsm.
+        yield from self.barrier()
         return float(total)
 
     # -- single ------------------------------------------------------------------
@@ -259,6 +272,9 @@ class ThreadCtx(_CtxBase):
         yield from self.barrier()  # the implicit barrier of `single`
         if shared_scalar is not None:
             result = yield from self.scalar(shared_scalar).get()
+            # Order the unlocked read against the next encounter's write
+            # (same race shape as reduce_value's scratch read).
+            yield from self.barrier()
         return result
 
     def master(self, body_gen_fn: Callable[[], Any]):

@@ -11,7 +11,7 @@ execution model of §4.1 realised with messages.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
@@ -41,6 +41,9 @@ class ParadeRuntime:
     dsm_config : protocol preset; defaults to PARADE_DSM or KDSM_BASELINE
         according to *mode*
     cluster_config : hardware model override (interconnect, speeds, costs)
+    sanitize : attach the happens-before sanitizer (overrides
+        ``dsm_config.sanitize`` when given); the attached instance is
+        available as :attr:`sanitizer`
     """
 
     def __init__(
@@ -51,6 +54,7 @@ class ParadeRuntime:
         dsm_config: Optional[DsmConfig] = None,
         cluster_config: Optional[ClusterConfig] = None,
         pool_bytes: Optional[int] = None,
+        sanitize: Optional[bool] = None,
     ):
         if mode not in ("parade", "sdsm"):
             raise ValueError(f"mode must be 'parade' or 'sdsm', got {mode!r}")
@@ -71,6 +75,14 @@ class ParadeRuntime:
             dc = dc.replace(pool_bytes=pool_bytes)
         self.dsm = DsmSystem(self.cluster, self.comm_threads, dc)
         self.comm = Communicator(self.cluster, self.comm_threads)
+
+        self.sanitizer = None
+        if dc.sanitize if sanitize is None else sanitize:
+            from repro.sanitizer import Sanitizer
+
+            self.sanitizer = Sanitizer(
+                self.sim, n_nodes=self.cluster.n_nodes, page_size=cc.page_size
+            )
         from repro.runtime.dynamic import DynamicScheduler
 
         self.dynamic_scheduler = DynamicScheduler(self)
@@ -190,7 +202,12 @@ class ParadeRuntime:
             )
             for lt in range(tpn)
         ]
+        san = self.sim.san
+        if san is not None:
+            san.on_fork([p.label for p in procs])
         joined = yield AllOf(self.sim, procs)
+        if san is not None:
+            san.on_join([p.label for p in procs])
         tr = self.sim.trace
         if tr is not None:
             tr.span("runtime", "node-region", t0, node=node_id, seq=self._region_seq)

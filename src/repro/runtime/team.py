@@ -74,6 +74,10 @@ class NodeTeam:
         generator ``inter_fn(merged)`` and its result is returned to all.
         """
         inst = self._instance(key)
+        san = self.sim.san
+        if san is not None:
+            # contributor -> leader happens-before edge (gather side)
+            san.on_gather(id(inst))
         if op is not None:
             if inst.has_partial:
                 inst.partial = op(inst.partial, partial)
@@ -82,14 +86,21 @@ class NodeTeam:
                 inst.has_partial = True
         inst.count += 1
         if inst.count == self.n_local:
+            if san is not None:
+                san.on_gather_leader(id(inst))
             result = yield from inter_fn(inst.partial)
             gate = inst.gate
             self._retire(key, inst)
+            if san is not None:
+                # leader -> waiters edge (gate side); n_local-1 waiters
+                san.on_gate_open(id(gate), self.n_local - 1)
             gate.succeed(result)
             yield gate  # consume our own gate pass for deterministic ordering
             return result
         gate = inst.gate
         result = yield gate
+        if san is not None:
+            san.on_gate_wait(id(gate))
         self._retire(key, inst)
         return result
 
@@ -114,9 +125,15 @@ class NodeTeam:
 
     def wait_gate(self, inst: _Instance, key):
         value = yield inst.gate
+        san = self.sim.san
+        if san is not None:
+            san.on_gate_wait(id(inst.gate))
         self._retire(key, inst)
         return value
 
     def open_gate(self, inst: _Instance, key, value=None) -> None:
+        san = self.sim.san
+        if san is not None:
+            san.on_gate_open(id(inst.gate), self.n_local - 1)
         inst.gate.succeed(value)
         self._retire(key, inst)

@@ -58,6 +58,10 @@ class Simulator:
         #: Instrumentation throughout the stack guards on this being None,
         #: which is the entire cost of tracing when it is off.
         self.trace = None
+        #: attached :class:`repro.sanitizer.Sanitizer`, or None.  Same
+        #: zero-cost-when-detached contract as :attr:`trace`: hooks guard
+        #: on this being None.
+        self.san = None
         #: the :class:`Process` currently advancing its generator; tracing
         #: uses its label as the emitting track ("thread") name.
         self.active_process = None

@@ -40,10 +40,16 @@ class Mutex:
         yield req
         self._holder = req
         self.n_acquisitions += 1
+        san = self.sim.san
+        if san is not None:
+            san.on_lock_acquire(("mutex", self.name))
 
     def release(self) -> None:
         if self._holder is None:
             raise SimulationError(f"release of unheld mutex {self.name}")
+        san = self.sim.san
+        if san is not None:
+            san.on_lock_release(("mutex", self.name))
         holder, self._holder = self._holder, None
         self._res.release(holder)
         # The next queued request (if any) was granted synchronously; record

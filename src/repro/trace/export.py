@@ -12,7 +12,12 @@ paper's deployment:
   OpenMP threads (``omp[n.t]rK``), the per-node communication thread
   (``comm[n]``), node agents and the master program each get a track;
 * spans are ``ph: "X"`` complete events, instants are ``ph: "i"`` with
-  thread scope.
+  thread scope;
+* each cross-node message becomes a **flow** (``ph: "s"`` at the
+  ``net/msg-send`` instant, ``ph: "f"`` at the matching
+  ``net/msg-deliver``), keyed by the message's wire ``seq`` — Perfetto
+  draws these as arrows from the sending track to the delivering track.
+  Loopback sends have no deliver event and get no flow.
 
 String track names are assigned stable numeric tids per process and
 published via ``thread_name`` metadata records, as the format requires.
@@ -39,9 +44,24 @@ def to_chrome(events: Iterable[TraceEvent], label: str = "repro") -> Dict[str, A
     Returns ``{"traceEvents": [...], "displayTimeUnit": "ns", ...}``;
     serialise with :func:`write_chrome_json`.
     """
+    events = list(events)
     trace_events: List[Dict[str, Any]] = []
     # (pid, tid-string) -> numeric tid; names published as metadata.
     tid_map: Dict[tuple, int] = {}
+
+    # First pass: wire seqs that have BOTH ends recorded.  Loopback
+    # messages emit msg-send only; an unmatched flow start would dangle
+    # (Perfetto renders it as an arrow to nowhere), so those get none.
+    sent, delivered = set(), set()
+    for ev in events:
+        if ev.cat == "net" and ev.args:
+            seq = ev.args.get("seq")
+            if seq is not None:
+                if ev.name == "msg-send":
+                    sent.add(seq)
+                elif ev.name == "msg-deliver":
+                    delivered.add(seq)
+    flow_seqs = sent & delivered
 
     def tid_of(pid: int, tid: str) -> int:
         key = (pid, tid)
@@ -100,6 +120,28 @@ def to_chrome(events: Iterable[TraceEvent], label: str = "repro") -> Dict[str, A
             record["ph"] = "i"
             record["s"] = "t"
         trace_events.append(record)
+
+        if ev.cat == "net" and ev.args and ev.args.get("seq") in flow_seqs:
+            if ev.name == "msg-send":
+                flow_ph = "s"
+            elif ev.name == "msg-deliver":
+                flow_ph = "f"
+            else:
+                continue
+            flow: Dict[str, Any] = {
+                "ph": flow_ph,
+                "name": "msg",
+                "cat": "net.flow",
+                "id": int(ev.args["seq"]),
+                "ts": record["ts"],
+                "pid": pid,
+                "tid": record["tid"],
+            }
+            if flow_ph == "f":
+                # bind to the enclosing slice's end so the arrow lands on
+                # the deliver instant rather than the next slice
+                flow["bp"] = "e"
+            trace_events.append(flow)
 
     return {
         "traceEvents": trace_events,

@@ -1,0 +1,141 @@
+"""diff_gap > 0 precondition enforcement at the home.
+
+``compute_diff`` with a coalescing gap emits runs that include *gap*
+bytes — the writer's (possibly stale) copy of data it never wrote.  That
+is only sound with a single writer per page per interval; a second
+writer's bytes inside another writer's gap would be silently clobbered
+at the home.  The home now detects the overlap and raises
+:class:`DiffGapClobber` instead of corrupting the page, and reports
+non-overlapping same-interval multi-writer merges to the sanitizer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsm import SharedArray
+from repro.dsm.config import PARADE_DSM
+from repro.dsm.node import DiffGapClobber
+from repro.sanitizer import Sanitizer
+from repro.testing import build_dsm, run_all
+
+
+def _find_clobber(exc):
+    while exc is not None:
+        if isinstance(exc, DiffGapClobber):
+            return exc
+        exc = exc.__cause__
+    return None
+
+
+def test_two_writer_false_sharing_overlap_raises():
+    """Writer 1's coalesced run spans the bytes writer 2 wrote: the home
+    must refuse to apply the clobbering diff."""
+    cfg = PARADE_DSM.replace(diff_gap=64)
+    cluster, _cts, dsm = build_dsm(3, dsm_config=cfg)
+    arr = SharedArray.allocate(dsm, "g", (512,))  # one 4 KiB page, home 0
+
+    def w1():
+        v = arr.on(1)
+        # elements 0 and 4: byte runs [0,8) and [32,40), 24-byte gap
+        # < diff_gap, so the diff coalesces to one run [0,40) carrying
+        # node 1's stale copy of bytes [8,32)
+        yield from v.set_scalar(0, 1.0)
+        yield from v.set_scalar(4, 1.0)
+        yield from dsm.node(1).barrier()
+
+    def w2():
+        # element 2 = bytes [16,24): inside node 1's gap
+        yield from arr.on(2).set_scalar(2, 2.0)
+        yield from dsm.node(2).barrier()
+
+    def w0():
+        yield from dsm.node(0).barrier()
+
+    with pytest.raises(Exception) as ei:
+        run_all(cluster, [w0(), w1(), w2()])
+    clobber = _find_clobber(ei.value)
+    assert clobber is not None, f"expected DiffGapClobber in chain, got {ei.value!r}"
+    assert clobber.home == 0
+    assert {clobber.writer, clobber.other} == {1, 2}
+    assert "single writer" in str(clobber)
+
+
+def test_two_writer_disjoint_reported_to_sanitizer():
+    """Non-overlapping same-interval writers don't corrupt anything (no
+    gap spans them) but still violate the documented single-writer
+    precondition — the sanitizer gets a finding, the run completes."""
+    cfg = PARADE_DSM.replace(diff_gap=64)
+    cluster, _cts, dsm = build_dsm(3, dsm_config=cfg)
+    san = Sanitizer(cluster.sim, n_nodes=3, page_size=4096)
+    arr = SharedArray.allocate(dsm, "g", (512,))
+
+    def w1():
+        yield from arr.on(1).set_scalar(0, 1.0)
+        yield from dsm.node(1).barrier()
+
+    def w2():
+        yield from arr.on(2).set_scalar(100, 2.0)  # byte 800: far away
+        yield from dsm.node(2).barrier()
+
+    def w0():
+        yield from dsm.node(0).barrier()
+
+    run_all(cluster, [w0(), w1(), w2()])
+    gap = [f for f in san.findings if f.kind == "diff-gap-multi-writer"]
+    assert len(gap) == 1
+    assert "writers [1, 2]" in gap[0].message
+
+
+def test_lock_ordered_writer_chain_is_exempt():
+    """Writers serialised by the distributed lock are NOT concurrent:
+    each fetches the page (carrying the previous diff) before writing, so
+    the freshness floor admits its later diff without a false clobber."""
+    cfg = PARADE_DSM.replace(diff_gap=64)
+    cluster, _cts, dsm = build_dsm(4, dsm_config=cfg)
+    counter = SharedArray.allocate(dsm, "c", (1,), dtype=np.int64)
+
+    def worker(nid):
+        v = counter.on(nid)
+        for _ in range(4):
+            yield from dsm.node(nid).lock_acquire(3)
+            cur = yield from v.get_scalar(0)
+            yield from v.set_scalar(0, cur + 1)
+            yield from dsm.node(nid).lock_release(3)
+        yield from dsm.node(nid).barrier()
+
+    run_all(cluster, [worker(i) for i in range(4)])
+    reads = []
+
+    def reader():
+        v = yield from counter.on(0).get_scalar(0)
+        reads.append(int(v))
+
+    run_all(cluster, [reader()])
+    assert reads == [16]
+
+
+def test_gap_zero_never_engages_the_guard():
+    """With diff_gap == 0 diffs are exact; concurrent disjoint writers of
+    one page are fine and no gap bookkeeping happens."""
+    cluster, _cts, dsm = build_dsm(3)  # PARADE_DSM: diff_gap=0
+    arr = SharedArray.allocate(dsm, "g", (512,))
+
+    def w(nid, idx, val):
+        def gen():
+            yield from arr.on(nid).set_scalar(idx, val)
+            yield from dsm.node(nid).barrier()
+        return gen()
+
+    def w0():
+        yield from dsm.node(0).barrier()
+
+    run_all(cluster, [w0(), w(1, 0, 1.0), w(2, 2, 2.0)])
+    assert dsm.node(0)._gap_runs == {}
+    got = []
+
+    def reader():
+        v = yield from arr.on(0).get(0, 8)
+        got.append(np.asarray(v).copy())
+
+    run_all(cluster, [reader()])
+    assert got[0][0] == 1.0 and got[0][2] == 2.0
