@@ -105,18 +105,39 @@ def basket(smoke: bool = False) -> Dict[str, dict]:
     return _smoke_basket() if smoke else _full_basket()
 
 
+def phase_breakdown(spec: dict, n_nodes: int = 4) -> Dict[str, float]:
+    """Virtual-time phase-group fractions for one workload.
+
+    Runs the workload once more with the :mod:`repro.profile` profiler
+    attached (kept out of the timed loop so the wall numbers measure the
+    unobserved simulator) and returns ``{group: fraction}`` over all
+    thread time — compute / cpu / stall / sync / comm / idle.  The
+    simulator is deterministic, so this characterises the timed runs too.
+    """
+    from repro.profile import Profiler
+    from repro.runtime import ParadeRuntime
+
+    rt = ParadeRuntime(n_nodes=n_nodes, pool_bytes=spec["pool_bytes"])
+    prof = Profiler(rt.sim, record_intervals=False)
+    rt.run(spec["factory"]())
+    prof.finalize()
+    return prof.group_fractions(ndigits=4)
+
+
 def measure_workload(
-    spec: dict, n_nodes: int = 4, repeat: int = 2
-) -> Dict[str, float]:
+    spec: dict, n_nodes: int = 4, repeat: int = 2, phases: bool = True
+) -> Dict[str, object]:
     """Run one workload *repeat* times; report best-of wall clock.
 
     Returns wall_s / virtual_s / events / events_per_s / faults /
-    faults_per_s.  Virtual results must be identical across repeats
-    (the simulator is deterministic) — a mismatch raises.
+    faults_per_s, plus (unless ``phases=False``) a ``phases`` dict of
+    virtual-time group fractions from a separate, untimed profiled run.
+    Virtual results must be identical across repeats (the simulator is
+    deterministic) — a mismatch raises.
     """
     from repro.runtime import ParadeRuntime
 
-    best: Optional[Dict[str, float]] = None
+    best: Optional[Dict[str, object]] = None
     for _ in range(max(1, repeat)):
         rt = ParadeRuntime(n_nodes=n_nodes, pool_bytes=spec["pool_bytes"])
         t0 = time.perf_counter()
@@ -144,6 +165,8 @@ def measure_workload(
         if best is None or rec["wall_s"] < best["wall_s"]:
             best = rec
     assert best is not None
+    if phases:
+        best["phases"] = phase_breakdown(spec, n_nodes=n_nodes)
     return best
 
 
@@ -153,23 +176,29 @@ def run_basket(
     repeat: int = 2,
     workloads: Optional[List[str]] = None,
     verbose: bool = True,
-) -> Dict[str, Dict[str, float]]:
+) -> Dict[str, Dict[str, object]]:
     """Measure every workload of the basket; returns {name: metrics}."""
     bk = basket(smoke)
     names = workloads or list(bk)
     unknown = [n for n in names if n not in bk]
     if unknown:
         raise KeyError(f"unknown workload(s) {unknown}; choose from {sorted(bk)}")
-    results: Dict[str, Dict[str, float]] = {}
+    results: Dict[str, Dict[str, object]] = {}
     for name in names:
         rec = measure_workload(bk[name], n_nodes=n_nodes, repeat=repeat)
         results[name] = rec
         if verbose:
+            ph = rec.get("phases") or {}
+            ph_str = " ".join(
+                f"{g}={ph[g]:.0%}"
+                for g in ("compute", "stall", "sync", "comm")
+                if g in ph
+            )
             print(
                 f"  {name:<10} wall={rec['wall_s']:7.3f}s "
                 f"events={rec['events']:>8} "
                 f"ev/s={rec['events_per_s']:>11,.0f} "
-                f"faults/s={rec['faults_per_s']:>9,.0f}"
+                f"faults/s={rec['faults_per_s']:>9,.0f}  {ph_str}"
             )
     return results
 

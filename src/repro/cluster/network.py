@@ -89,7 +89,27 @@ class Network:
         # NIC serialisation: holds the transmit engine for nbytes/bandwidth.
         tx_time = nbytes / ic.bandwidth
         t0 = self.sim.now
-        yield from node.nic_tx.execute(tx_time)
+        prof = self.sim.prof
+        if prof is None:
+            yield from node.nic_tx.execute(tx_time)
+        else:
+            from repro.profile.phases import PH_NET_TX
+
+            # same event sequence as nic_tx.execute, with the engine-queue
+            # wait and the transmit occupancy phased separately
+            req = node.nic_tx.request()
+            prof.push(PH_NET_TX)
+            try:
+                yield req
+            except BaseException:
+                prof.pop()
+                raise
+            prof.replace(PH_NET_TX, active=True)
+            try:
+                yield self.sim.timeout(tx_time)
+            finally:
+                prof.pop()
+                node.nic_tx.release(req)
         if tr is not None:
             tr.span("net", "nic-tx", t0, node=src, dst=dst, nbytes=nbytes, seq=msg.seq)
         # Propagation through the switch: pure delay, then delivery.
@@ -102,6 +122,12 @@ class Network:
         node = self.nodes[msg.dst]
         node.msgs_received += 1
         node.bytes_received += msg.nbytes
+        prof = self.sim.prof
+        if prof is not None:
+            # the switch-propagation leg, on the pseudo-thread "net"
+            prof.on_net_flight(
+                self.sim.now - self.interconnect.latency, self.sim.now
+            )
         tr = self.sim.trace
         if tr is not None:
             tr.instant(

@@ -41,11 +41,28 @@ class Node:
         seconds = self.config.compute_seconds(work_units, self.id)
         self.compute_time += seconds
         req = self.cpus.request(priority=priority)
-        yield req
-        try:
-            yield Timeout(self.sim, seconds)
-        finally:
-            self.cpus.release(req)
+        prof = self.sim.prof
+        if prof is None:
+            yield req
+            try:
+                yield Timeout(self.sim, seconds)
+            finally:
+                self.cpus.release(req)
+        else:
+            from repro.profile.phases import PH_COMPUTE, PH_CPU_WAIT
+
+            prof.push(PH_CPU_WAIT)
+            try:
+                yield req
+            except BaseException:
+                prof.pop()
+                raise
+            prof.replace(PH_COMPUTE, active=True)
+            try:
+                yield Timeout(self.sim, seconds)
+            finally:
+                prof.pop()
+                self.cpus.release(req)
 
     def busy_cpu(self, seconds: float, priority: int = 0):
         """Generator: occupy one CPU for raw protocol-overhead *seconds*
@@ -53,11 +70,30 @@ class Node:
         scaled = seconds / self.speed_factor
         self.overhead_time += scaled
         req = self.cpus.request(priority=priority)
-        yield req
-        try:
-            yield Timeout(self.sim, scaled)
-        finally:
-            self.cpus.release(req)
+        prof = self.sim.prof
+        if prof is None:
+            yield req
+            try:
+                yield Timeout(self.sim, scaled)
+            finally:
+                self.cpus.release(req)
+        else:
+            from repro.profile.phases import PH_CPU_WAIT
+
+            # the burst itself is charged to the *enclosing* phase (diff
+            # work under flush, spin under lock-wait ...), marked active
+            prof.push(PH_CPU_WAIT)
+            try:
+                yield req
+            except BaseException:
+                prof.pop()
+                raise
+            prof.replace_busy()
+            try:
+                yield Timeout(self.sim, scaled)
+            finally:
+                prof.pop()
+                self.cpus.release(req)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Node {self.id} ({self.config.cpu_mhz[self.id]} MHz x{self.config.cpus_per_node})>"

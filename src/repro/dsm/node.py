@@ -40,6 +40,14 @@ from repro.vm import (
 from repro.dsm.states import PageState, IllegalTransition, is_valid_transition
 from repro.dsm.diffs import make_twin, compute_diff, apply_diff, diff_nbytes
 from repro.dsm.writenotice import WriteNotice, NoticeLog, merge_notices
+from repro.profile.phases import (
+    PH_BARRIER,
+    PH_FAULT_FETCH,
+    PH_FAULT_WORK,
+    PH_FLUSH,
+    PH_LOCK_WAIT,
+    PH_PAGE_WAIT,
+)
 
 #: page kinds: HLRC-managed vs object-granularity (update protocol) regions
 KIND_HLRC = 0
@@ -338,29 +346,39 @@ class DsmNode:
         tr = self.sim.trace
         while True:
             st = self.state[page]
+            prof = self.sim.prof
             if st == PageState.READ_ONLY:
                 if not is_write:
                     return  # raced with another thread's completed fetch
                 # write fault on a valid clean page
                 self.stats.write_faults += 1
                 t0 = self.sim.now
-                yield from self.node.busy_cpu(self.cluster_config.fault_overhead)
-                if self.state[page] is not PageState.READ_ONLY:
-                    # a sibling invalidated the page (lock-grant notice)
-                    # or upgraded it first while we yielded; retry
-                    continue
-                if self.config.homeless or self.home[page] != self.id:
-                    self._make_twin(page)
-                yield from self.node.busy_cpu(self.cluster_config.mprotect_overhead)
-                if self.state[page] is not PageState.READ_ONLY:
-                    continue  # _invalidate dropped the twin; retry
-                self._set_state(page, PageState.DIRTY, "write-fault")
-                self.space.protect(page, PROT_RW)
-                self.dirty.add(page)
-                if tr is not None:
-                    tr.span("dsm.page", "fault", t0, node=self.id,
-                            page=page, kind="write-upgrade")
-                return
+                if prof is not None:
+                    # local service only: SIGSEGV + twin + mprotect costs,
+                    # charged as fault-work by the busy slices inside
+                    prof.on_fault(page, True)
+                    prof.push(PH_FAULT_WORK)
+                try:
+                    yield from self.node.busy_cpu(self.cluster_config.fault_overhead)
+                    if self.state[page] is not PageState.READ_ONLY:
+                        # a sibling invalidated the page (lock-grant notice)
+                        # or upgraded it first while we yielded; retry
+                        continue
+                    if self.config.homeless or self.home[page] != self.id:
+                        self._make_twin(page)
+                    yield from self.node.busy_cpu(self.cluster_config.mprotect_overhead)
+                    if self.state[page] is not PageState.READ_ONLY:
+                        continue  # _invalidate dropped the twin; retry
+                    self._set_state(page, PageState.DIRTY, "write-fault")
+                    self.space.protect(page, PROT_RW)
+                    self.dirty.add(page)
+                    if tr is not None:
+                        tr.span("dsm.page", "fault", t0, node=self.id,
+                                page=page, kind="write-upgrade")
+                    return
+                finally:
+                    if prof is not None:
+                        prof.pop()
             if st == PageState.DIRTY:
                 return  # already writable
             if st == PageState.INVALID:
@@ -369,46 +387,55 @@ class DsmNode:
                 else:
                     self.stats.read_faults += 1
                 t0 = self.sim.now
-                self._set_state(page, PageState.TRANSIENT, "fault")
-                yield from self.node.busy_cpu(self.cluster_config.fault_overhead)
-                final_prot = PROT_RW if is_write else PROT_READ
-                if self.config.homeless:
-                    yield from self._pull_missing_diffs(page)
-                    yield from self.node.busy_cpu(self.cluster_config.mprotect_overhead)
-                    self.space.protect(page, final_prot)
-                else:
-                    data = yield from self._fetch_page(page)
-                    yield from self.strategy.update_page(self, self.space, page, data, final_prot)
-                if page in self._pending_inval:
-                    # An invalidation raced with this fetch (a sibling
-                    # thread applied a write notice for the page while
-                    # the fetch was in flight): the copy just installed
-                    # may be stale.  Close the update through the legal
-                    # Figure-5 chain, drop it, wake waiters, and retry.
-                    self._pending_inval.discard(page)
-                    self._set_state(page, PageState.READ_ONLY, "update-done")
-                    self._invalidate(page)
+                if prof is not None:
+                    # fetch round-trips re-phase themselves as fault-fetch;
+                    # the rest (fault/mprotect/update CPU) is fault-work
+                    prof.on_fault(page, is_write)
+                    prof.push(PH_FAULT_WORK)
+                try:
+                    self._set_state(page, PageState.TRANSIENT, "fault")
+                    yield from self.node.busy_cpu(self.cluster_config.fault_overhead)
+                    final_prot = PROT_RW if is_write else PROT_READ
+                    if self.config.homeless:
+                        yield from self._pull_missing_diffs(page)
+                        yield from self.node.busy_cpu(self.cluster_config.mprotect_overhead)
+                        self.space.protect(page, final_prot)
+                    else:
+                        data = yield from self._fetch_page(page)
+                        yield from self.strategy.update_page(self, self.space, page, data, final_prot)
+                    if page in self._pending_inval:
+                        # An invalidation raced with this fetch (a sibling
+                        # thread applied a write notice for the page while
+                        # the fetch was in flight): the copy just installed
+                        # may be stale.  Close the update through the legal
+                        # Figure-5 chain, drop it, wake waiters, and retry.
+                        self._pending_inval.discard(page)
+                        self._set_state(page, PageState.READ_ONLY, "update-done")
+                        self._invalidate(page)
+                        waiter = self._page_waiters.pop(page, None)
+                        if waiter is not None:
+                            waiter.succeed()
+                        if tr is not None:
+                            tr.span("dsm.page", "fault", t0, node=self.id,
+                                    page=page, kind="retry-invalidated")
+                        continue
+                    if is_write:
+                        if self.config.homeless or self.home[page] != self.id:
+                            self._make_twin(page)
+                        self.dirty.add(page)
+                        self._set_state(page, PageState.DIRTY, "update-done-write")
+                    else:
+                        self._set_state(page, PageState.READ_ONLY, "update-done")
                     waiter = self._page_waiters.pop(page, None)
                     if waiter is not None:
                         waiter.succeed()
                     if tr is not None:
                         tr.span("dsm.page", "fault", t0, node=self.id,
-                                page=page, kind="retry-invalidated")
-                    continue
-                if is_write:
-                    if self.config.homeless or self.home[page] != self.id:
-                        self._make_twin(page)
-                    self.dirty.add(page)
-                    self._set_state(page, PageState.DIRTY, "update-done-write")
-                else:
-                    self._set_state(page, PageState.READ_ONLY, "update-done")
-                waiter = self._page_waiters.pop(page, None)
-                if waiter is not None:
-                    waiter.succeed()
-                if tr is not None:
-                    tr.span("dsm.page", "fault", t0, node=self.id,
-                            page=page, kind="write" if is_write else "read")
-                return
+                                page=page, kind="write" if is_write else "read")
+                    return
+                finally:
+                    if prof is not None:
+                        prof.pop()
             # TRANSIENT or BLOCKED: some other thread is updating; wait.
             self.stats.blocked_waits += 1
             if st == PageState.TRANSIENT:
@@ -418,7 +445,14 @@ class DsmNode:
                 waiter = Event(self.sim, name=f"pagewait[{self.id}:{page}]")
                 self._page_waiters[page] = waiter
             t0 = self.sim.now
-            yield waiter
+            if prof is None:
+                yield waiter
+            else:
+                prof.push(PH_PAGE_WAIT)
+                try:
+                    yield waiter
+                finally:
+                    prof.pop()
             if tr is not None:
                 tr.span("dsm.page", "page-wait", t0, node=self.id, page=page)
             # loop: re-examine the state (may need to upgrade to write)
@@ -455,10 +489,23 @@ class DsmNode:
         req_id = self._next_req()
         ev = self._pending_event(req_id)
         t0 = self.sim.now
-        yield from self.net.send(
-            self.id, home, 8, (page, self.id), tag=("dsm", "fetch", req_id)
-        )
-        data = yield ev
+        prof = self.sim.prof
+        if prof is None:
+            yield from self.net.send(
+                self.id, home, 8, (page, self.id), tag=("dsm", "fetch", req_id)
+            )
+            data = yield ev
+        else:
+            # request round-trip: send + wait for the home's reply
+            prof.push(PH_FAULT_FETCH)
+            try:
+                yield from self.net.send(
+                    self.id, home, 8, (page, self.id), tag=("dsm", "fetch", req_id)
+                )
+                data = yield ev
+            finally:
+                prof.pop()
+            prof.on_fetch(page, len(data))
         self.stats.pages_fetched += 1
         self.stats.fetch_bytes += len(data)
         tr = self.sim.trace
@@ -485,13 +532,26 @@ class DsmNode:
             for w in writers:
                 req_id = self._next_req()
                 ev = self._pending_event(req_id)
-                yield from self.net.send(
-                    self.id, w, 12, (page, epoch, self.id), tag=("dsm", "dget", req_id)
-                )
-                diff = yield ev
+                prof = self.sim.prof
+                if prof is None:
+                    yield from self.net.send(
+                        self.id, w, 12, (page, epoch, self.id), tag=("dsm", "dget", req_id)
+                    )
+                    diff = yield ev
+                else:
+                    prof.push(PH_FAULT_FETCH)
+                    try:
+                        yield from self.net.send(
+                            self.id, w, 12, (page, epoch, self.id), tag=("dsm", "dget", req_id)
+                        )
+                        diff = yield ev
+                    finally:
+                        prof.pop()
                 self.stats.pages_fetched += 1
                 nb = diff_nbytes(diff)
                 self.stats.fetch_bytes += nb
+                if prof is not None:
+                    prof.on_fetch(page, nb)
                 yield from self.node.busy_cpu(self.cluster_config.diff_apply_overhead)
                 if check_gap:
                     for off, data in diff:
@@ -622,42 +682,55 @@ class DsmNode:
         diffs_before = self.stats.diffs_sent
         bytes_before = self.stats.diff_bytes
         notices = [WriteNotice(p, self.id, self._interval) for p in sorted(self.dirty)]
-        if self.config.homeless:
-            assert epoch is not None, "homeless flush requires a barrier epoch"
+        prof = self.sim.prof
+        if prof is not None:
+            # release-time twin/diff work: diff CPU bursts inherit this
+            # label; the trailing ack waits count as flush too
+            prof.push(PH_FLUSH)
+        try:
+            if self.config.homeless:
+                assert epoch is not None, "homeless flush requires a barrier epoch"
+                for p in sorted(self.dirty):
+                    twin = self.twins.get(p)
+                    assert twin is not None, f"dirty page {p} has no twin on {self.id}"
+                    yield from self.node.busy_cpu(self.cluster_config.diff_overhead)
+                    diff = compute_diff(twin, self._page_view(p), self.config.diff_gap)
+                    self._diff_log[(p, epoch)] = diff
+                    if prof is not None:
+                        prof.on_diff(p, diff_nbytes(diff))
+                if tr is not None and n_dirty:
+                    tr.span("dsm.page", "flush", t0, node=self.id, dirty=n_dirty, retained=True)
+                return notices
+            acks = []
             for p in sorted(self.dirty):
+                if self.home[p] == self.id:
+                    continue
                 twin = self.twins.get(p)
-                assert twin is not None, f"dirty page {p} has no twin on {self.id}"
+                assert twin is not None, f"dirty non-home page {p} has no twin on {self.id}"
                 yield from self.node.busy_cpu(self.cluster_config.diff_overhead)
                 diff = compute_diff(twin, self._page_view(p), self.config.diff_gap)
-                self._diff_log[(p, epoch)] = diff
+                if not diff:
+                    continue
+                req_id = self._next_req()
+                acks.append(self._pending_event(req_id))
+                self.stats.diffs_sent += 1
+                nb = diff_nbytes(diff)
+                self.stats.diff_bytes += nb
+                if prof is not None:
+                    prof.on_diff(p, nb)
+                yield from self.net.send(self.id, self.home[p], nb, (p, diff), tag=("dsm", "diff", req_id))
+            for ev in acks:
+                yield ev
             if tr is not None and n_dirty:
-                tr.span("dsm.page", "flush", t0, node=self.id, dirty=n_dirty, retained=True)
+                tr.span(
+                    "dsm.page", "flush", t0, node=self.id, dirty=n_dirty,
+                    diffs=self.stats.diffs_sent - diffs_before,
+                    nbytes=self.stats.diff_bytes - bytes_before,
+                )
             return notices
-        acks = []
-        for p in sorted(self.dirty):
-            if self.home[p] == self.id:
-                continue
-            twin = self.twins.get(p)
-            assert twin is not None, f"dirty non-home page {p} has no twin on {self.id}"
-            yield from self.node.busy_cpu(self.cluster_config.diff_overhead)
-            diff = compute_diff(twin, self._page_view(p), self.config.diff_gap)
-            if not diff:
-                continue
-            req_id = self._next_req()
-            acks.append(self._pending_event(req_id))
-            self.stats.diffs_sent += 1
-            nb = diff_nbytes(diff)
-            self.stats.diff_bytes += nb
-            yield from self.net.send(self.id, self.home[p], nb, (p, diff), tag=("dsm", "diff", req_id))
-        for ev in acks:
-            yield ev
-        if tr is not None and n_dirty:
-            tr.span(
-                "dsm.page", "flush", t0, node=self.id, dirty=n_dirty,
-                diffs=self.stats.diffs_sent - diffs_before,
-                nbytes=self.stats.diff_bytes - bytes_before,
-            )
-        return notices
+        finally:
+            if prof is not None:
+                prof.pop()
 
     def _close_interval(self) -> None:
         """After a flush: dirty pages become clean, twins dropped."""
@@ -706,7 +779,17 @@ class DsmNode:
         self.stats.barriers += 1
         tr = self.sim.trace
         bar_t0 = self.sim.now
+        prof = self.sim.prof
+        if prof is not None:
+            # arrival-to-departure; the nested flush re-phases its own span
+            prof.push(PH_BARRIER)
+        try:
+            yield from self._barrier_body(epoch, tr, bar_t0)
+        finally:
+            if prof is not None:
+                prof.pop()
 
+    def _barrier_body(self, epoch: int, tr, bar_t0: float):
         flushed = yield from self._flush_dirty(epoch=epoch)
         self._close_interval()
         # include notices from lock intervals since the last barrier
@@ -842,14 +925,27 @@ class DsmNode:
             self.stats.lock_remote_acquires += 1
         tr = self.sim.trace
         t0 = self.sim.now
-        yield from self.net.send(
-            self.id, manager, 12, (lock_id, self.id), tag=("lk", "acq", req_id)
-        )
-        if self.config.lock_spin:
-            # KDSM busy-wait client: burn CPU slices until granted (§6.1).
-            while not ev.triggered:
-                yield from self.node.busy_cpu(self.config.spin_slice)
-        notices = yield ev
+        prof = self.sim.prof
+        if prof is not None:
+            # request-to-grant, spin slices included (they surface as
+            # *active* lock-wait — the KDSM busy-wait anomaly of Fig. 7)
+            prof.push(PH_LOCK_WAIT)
+        try:
+            yield from self.net.send(
+                self.id, manager, 12, (lock_id, self.id), tag=("lk", "acq", req_id)
+            )
+            if self.config.lock_spin:
+                # KDSM busy-wait client: burn CPU slices until granted (§6.1).
+                while not ev.triggered:
+                    yield from self.node.busy_cpu(self.config.spin_slice)
+            notices = yield ev
+        finally:
+            if prof is not None:
+                prof.pop()
+        if prof is not None:
+            prof.on_lock_acquired(
+                lock_id, self.sim.now - t0, remote=manager != self.id
+            )
         san = self.sim.san
         if san is not None:
             san.on_lock_acquire(("dsm-lock", lock_id))
@@ -877,9 +973,20 @@ class DsmNode:
         self._close_interval()
         self._notices_since_barrier.extend(notices)
         nb = 16 + WriteNotice.NBYTES * len(notices)
-        yield from self.net.send(
-            self.id, manager, nb, (lock_id, notices), tag=("lk", "rel", self._next_req())
-        )
+        prof = self.sim.prof
+        if prof is None:
+            yield from self.net.send(
+                self.id, manager, nb, (lock_id, notices), tag=("lk", "rel", self._next_req())
+            )
+        else:
+            # the notice hand-off is part of the release (flush) cost
+            prof.push(PH_FLUSH)
+            try:
+                yield from self.net.send(
+                    self.id, manager, nb, (lock_id, notices), tag=("lk", "rel", self._next_req())
+                )
+            finally:
+                prof.pop()
         if tr is not None:
             tr.span("dsm.lock", "release", t0, node=self.id, lock=lock_id,
                     manager=manager, notices=len(notices))
@@ -916,6 +1023,10 @@ class DsmNode:
         raise RuntimeError(f"unknown lock message kind {kind!r}")  # pragma: no cover
 
     def _grant(self, lock_id: int, requester: int, req_id: int, log: NoticeLog):
+        prof = self.sim.prof
+        if prof is not None:
+            # manager-side grant: the hot-lock table counts token hops
+            prof.on_lock_grant(lock_id, requester)
         start = log.cursor_of(requester)
         pending = log.unseen_by(requester)
         # A node's own notices carry no information for it (the writer never

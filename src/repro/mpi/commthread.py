@@ -71,14 +71,25 @@ class CommThread:
             if msg is POISON:
                 return
             t0 = sim.now
-            yield from busy_cpu(recv_cpu_time(msg.nbytes), priority=priority)
-            channel = msg.tag[0] if isinstance(msg.tag, tuple) else msg.tag
-            handler = handlers.get(channel)
-            if handler is None:
-                raise RuntimeError(
-                    f"node {self.node.id}: no handler for channel {channel!r} (msg {msg!r})"
-                )
-            yield from handler(msg)
+            prof = sim.prof
+            if prof is not None:
+                from repro.profile.phases import PH_COMM_SERVICE
+
+                # the whole drain (recv CPU cost + handler) is one service
+                # phase; busy_cpu slices inside inherit the label as active
+                prof.push(PH_COMM_SERVICE)
+            try:
+                yield from busy_cpu(recv_cpu_time(msg.nbytes), priority=priority)
+                channel = msg.tag[0] if isinstance(msg.tag, tuple) else msg.tag
+                handler = handlers.get(channel)
+                if handler is None:
+                    raise RuntimeError(
+                        f"node {self.node.id}: no handler for channel {channel!r} (msg {msg!r})"
+                    )
+                yield from handler(msg)
+            finally:
+                if prof is not None:
+                    prof.pop()
             self.messages_handled += 1
             self.service_time += sim.now - t0
             tr = sim.trace

@@ -124,7 +124,17 @@ class RankComm:
         sim = self.comm.sim
         tr = sim.trace
         t0 = sim.now
-        result = yield from self._bcast(value, root)
+        prof = sim.prof
+        if prof is None:
+            result = yield from self._bcast(value, root)
+        else:
+            from repro.profile.phases import PH_MPI_COLL
+
+            prof.push(PH_MPI_COLL)
+            try:
+                result = yield from self._bcast(value, root)
+            finally:
+                prof.pop()
         if tr is not None:
             tr.span("mpi", "bcast", t0, node=self.rank, root=root)
         return result
@@ -157,7 +167,17 @@ class RankComm:
         sim = self.comm.sim
         tr = sim.trace
         t0 = sim.now
-        result = yield from self._reduce(value, op, root)
+        prof = sim.prof
+        if prof is None:
+            result = yield from self._reduce(value, op, root)
+        else:
+            from repro.profile.phases import PH_MPI_COLL
+
+            prof.push(PH_MPI_COLL)
+            try:
+                result = yield from self._reduce(value, op, root)
+            finally:
+                prof.pop()
         if tr is not None:
             tr.span("mpi", "reduce", t0, node=self.rank, root=root)
         return result

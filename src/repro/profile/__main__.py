@@ -1,0 +1,150 @@
+"""Profile CLI: run a registered app under the virtual-time profiler.
+
+Usage::
+
+    python -m repro.profile                     # helmholtz, 4 nodes, parade
+    python -m repro.profile cg --nodes 2 --mode sdsm
+    python -m repro.profile helmholtz --json hh.prof.json --chrome hh.json
+    python -m repro.profile helmholtz --check   # invariants, exit 2 on fail
+    python -m repro.profile --list              # show registered workloads
+
+Prints the per-thread phase table (rows sum to each thread's virtual
+lifetime), the critical-path decomposition with what-if lower bounds, and
+the hot-page / hot-lock tables.  ``--json`` writes the full machine-
+readable report; ``--chrome`` writes phase slices + stacked group
+counters loadable in Perfetto.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.profile.profiler import Profiler
+from repro.profile.report import ProfileReport
+from repro.profile.export import write_profile_chrome
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.profile",
+        description="run a registered ParADE app under the virtual-time "
+        "profiler: per-thread phase attribution, critical path, hot pages/locks",
+    )
+    parser.add_argument(
+        "app", nargs="?", default="helmholtz",
+        help="registered workload name (see --list); default: helmholtz",
+    )
+    parser.add_argument("--list", action="store_true", help="list registered workloads and exit")
+    parser.add_argument("--nodes", type=int, default=4, help="cluster size (default 4)")
+    parser.add_argument(
+        "--mode", choices=("parade", "sdsm"), default="parade",
+        help="hybrid ParADE translation or conventional SDSM (default parade)",
+    )
+    parser.add_argument(
+        "--exec", dest="exec_name", default="2Thread-2CPU",
+        help="execution configuration: 1Thread-1CPU, 1Thread-2CPU or "
+        "2Thread-2CPU (default)",
+    )
+    parser.add_argument("--json", default=None, help="write the full report as JSON")
+    parser.add_argument(
+        "--chrome", default=None,
+        help="write phase slices + group counters as Chrome trace JSON",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10,
+        help="rows in the hot-page / hot-lock tables (default 10)",
+    )
+    parser.add_argument(
+        "--no-critical-path", action="store_true",
+        help="skip the critical-path sweep (ledgers and hot tables only)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="assert profiler invariants (phase sums = thread lifetimes, "
+        "JSON round-trip); exit 2 on violation",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    # imported here so `--help` stays fast and dependency-light
+    from repro.bench.figures import registered_programs
+    from repro.runtime import ParadeRuntime, ALL_EXEC_CONFIGS
+
+    registry = registered_programs()
+    if args.list:
+        for name, entry in sorted(registry.items()):
+            print(f"{name:<12} {entry['figure']:<6} {entry['note']}")
+        return 0
+
+    entry = registry.get(args.app)
+    if entry is None:
+        print(
+            f"unknown app {args.app!r}; registered: {', '.join(sorted(registry))}",
+            file=sys.stderr,
+        )
+        return 1
+    exec_config = next((ec for ec in ALL_EXEC_CONFIGS if ec.name == args.exec_name), None)
+    if exec_config is None:
+        names = ", ".join(ec.name for ec in ALL_EXEC_CONFIGS)
+        print(f"unknown exec config {args.exec_name!r}; use one of: {names}", file=sys.stderr)
+        return 1
+    if args.nodes < 1:
+        print(f"--nodes must be >= 1, got {args.nodes}", file=sys.stderr)
+        return 1
+
+    rt = ParadeRuntime(
+        n_nodes=args.nodes,
+        exec_config=exec_config,
+        mode=args.mode,
+        pool_bytes=entry["pool_bytes"],
+    )
+    prof = Profiler(rt.sim)
+    result = rt.run(entry["factory"]())
+    prof.finalize()
+
+    meta = {
+        "app": args.app,
+        "mode": args.mode,
+        "nodes": args.nodes,
+        "exec": exec_config.name,
+        "title": f"{args.app}/{args.mode}/{args.nodes}n/{exec_config.name}",
+        "elapsed_virtual_s": result.elapsed,
+    }
+    report = ProfileReport.from_profiler(
+        prof, meta=meta, critical_path=not args.no_critical_path
+    )
+    print(report.render(top=args.top))
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=1, sort_keys=True)
+        print(f"json : report -> {args.json}")
+    if args.chrome:
+        n = write_profile_chrome(prof, args.chrome, label=meta["title"])
+        print(f"chrome: {n} records -> {args.chrome}")
+
+    if args.check:
+        problems = report.check()
+        # the report must survive a JSON round trip bit-for-bit
+        round_tripped = ProfileReport.from_dict(json.loads(json.dumps(report.as_dict())))
+        if round_tripped.as_dict() != report.as_dict():
+            problems.append("report does not round-trip through JSON")
+        if round_tripped.render(top=args.top) != report.render(top=args.top):
+            problems.append("rendered report differs after JSON round trip")
+        if problems:
+            for p in problems:
+                print(f"CHECK FAILED: {p}", file=sys.stderr)
+            return 2
+        print(f"check: ok ({len(report.data['threads'])} threads, "
+              f"max phase-sum error {report.data['max_sum_error']:.3g} s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

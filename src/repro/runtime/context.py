@@ -85,7 +85,19 @@ class ThreadCtx(_CtxBase):
         tr = self.sim.trace
         t0 = self.sim.now
         key = self._key("bar")
-        yield from self.team.barrier(key)
+        prof = self.sim.prof
+        if prof is None:
+            yield from self.team.barrier(key)
+        else:
+            from repro.profile.phases import PH_BARRIER
+
+            # arrival-to-departure, covering the local gather and (on the
+            # leader) the inter-node DSM barrier
+            prof.push(PH_BARRIER)
+            try:
+                yield from self.team.barrier(key)
+            finally:
+                prof.pop()
         if tr is not None:
             # per-thread span: arrival-to-departure, showing barrier fan-in skew
             tr.span("runtime", "omp-barrier", t0, node=self.node_id,

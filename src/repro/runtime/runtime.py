@@ -44,6 +44,9 @@ class ParadeRuntime:
     sanitize : attach the happens-before sanitizer (overrides
         ``dsm_config.sanitize`` when given); the attached instance is
         available as :attr:`sanitizer`
+    profile : attach a virtual-time :class:`~repro.profile.Profiler`;
+        the attached instance is available as :attr:`profiler` (finalized
+        automatically when :meth:`run` returns)
     """
 
     def __init__(
@@ -55,6 +58,7 @@ class ParadeRuntime:
         cluster_config: Optional[ClusterConfig] = None,
         pool_bytes: Optional[int] = None,
         sanitize: Optional[bool] = None,
+        profile: bool = False,
     ):
         if mode not in ("parade", "sdsm"):
             raise ValueError(f"mode must be 'parade' or 'sdsm', got {mode!r}")
@@ -83,6 +87,11 @@ class ParadeRuntime:
             self.sanitizer = Sanitizer(
                 self.sim, n_nodes=self.cluster.n_nodes, page_size=cc.page_size
             )
+        self.profiler = None
+        if profile:
+            from repro.profile import Profiler
+
+            self.profiler = Profiler(self.sim)
         from repro.runtime.dynamic import DynamicScheduler
 
         self.dynamic_scheduler = DynamicScheduler(self)
@@ -205,7 +214,18 @@ class ParadeRuntime:
         san = self.sim.san
         if san is not None:
             san.on_fork([p.label for p in procs])
-        joined = yield AllOf(self.sim, procs)
+        prof = self.sim.prof
+        if prof is None:
+            joined = yield AllOf(self.sim, procs)
+        else:
+            from repro.profile.phases import PH_FORK_JOIN
+
+            # master/agent waiting for the region's local threads to join
+            prof.push(PH_FORK_JOIN)
+            try:
+                joined = yield AllOf(self.sim, procs)
+            finally:
+                prof.pop()
         if san is not None:
             san.on_join([p.label for p in procs])
         tr = self.sim.trace
@@ -251,6 +271,8 @@ class ParadeRuntime:
             ct.shutdown()
         self.sim.run()
         self._finished = True
+        if self.profiler is not None:
+            self.profiler.finalize()
         profile = []
         for n in self.cluster.nodes:
             busy = n.cpus.total_busy_time

@@ -98,7 +98,19 @@ class NodeTeam:
             yield gate  # consume our own gate pass for deterministic ordering
             return result
         gate = inst.gate
-        result = yield gate
+        prof = self.sim.prof
+        if prof is None:
+            result = yield gate
+        else:
+            from repro.profile.phases import PH_BARRIER, PH_TEAM_WAIT
+
+            # pure barriers (op is None) are barrier waits; reductions and
+            # other combining encounters are team (gather) waits
+            prof.push(PH_BARRIER if op is None else PH_TEAM_WAIT)
+            try:
+                result = yield gate
+            finally:
+                prof.pop()
         if san is not None:
             san.on_gate_wait(id(gate))
         self._retire(key, inst)
@@ -124,7 +136,17 @@ class NodeTeam:
         return False, inst
 
     def wait_gate(self, inst: _Instance, key):
-        value = yield inst.gate
+        prof = self.sim.prof
+        if prof is None:
+            value = yield inst.gate
+        else:
+            from repro.profile.phases import PH_TEAM_WAIT
+
+            prof.push(PH_TEAM_WAIT)
+            try:
+                value = yield inst.gate
+            finally:
+                prof.pop()
         san = self.sim.san
         if san is not None:
             san.on_gate_wait(id(inst.gate))

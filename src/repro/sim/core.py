@@ -62,6 +62,9 @@ class Simulator:
         #: zero-cost-when-detached contract as :attr:`trace`: hooks guard
         #: on this being None.
         self.san = None
+        #: attached :class:`repro.profile.Profiler`, or None.  Same
+        #: zero-cost-when-detached contract as :attr:`trace`.
+        self.prof = None
         #: the :class:`Process` currently advancing its generator; tracing
         #: uses its label as the emitting track ("thread") name.
         self.active_process = None

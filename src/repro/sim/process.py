@@ -73,10 +73,13 @@ class Process(Event):
 
         sim = self.sim
         tr = sim.trace
+        pr = sim.prof
         prev_active = sim.active_process
         sim.active_process = self
         if tr is not None:
             tr.instant("sim", "resume", tid=self.label)
+        if pr is not None:
+            pr.on_resume(self.label)
         gen = self._gen
         try:
             while True:
@@ -89,6 +92,8 @@ class Process(Event):
                 except StopIteration as stop:
                     if tr is not None:
                         tr.instant("sim", "end", tid=self.label, ok=True)
+                    if pr is not None:
+                        pr.on_thread_end(self.label)
                     self.succeed(stop.value, priority=URGENT)
                     return
                 except BaseException as exc:
@@ -97,6 +102,8 @@ class Process(Event):
                     # loudly when it processes the failure.
                     if tr is not None:
                         tr.instant("sim", "end", tid=self.label, ok=False)
+                    if pr is not None:
+                        pr.on_thread_end(self.label)
                     self.fail(exc, priority=URGENT)
                     return
 

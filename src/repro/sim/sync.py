@@ -37,7 +37,17 @@ class Mutex:
         if self.locked:
             self.n_contended += 1
         req = self._res.request()
-        yield req
+        prof = self.sim.prof
+        if prof is not None:
+            from repro.profile.phases import PH_MUTEX_WAIT
+
+            prof.push(PH_MUTEX_WAIT)
+            try:
+                yield req
+            finally:
+                prof.pop()
+        else:
+            yield req
         self._holder = req
         self.n_acquisitions += 1
         san = self.sim.san

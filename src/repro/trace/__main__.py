@@ -5,6 +5,8 @@ Usage::
     python -m repro.trace                      # helmholtz, 4 nodes, parade
     python -m repro.trace cg --nodes 8 --mode sdsm -o cg.trace.json
     python -m repro.trace helmholtz --csv hh.csv --cats dsm.page,dsm.barrier
+    python -m repro.trace helmholtz --jsonl hh.jsonl   # diff-able event log
+    python -m repro.trace diff A.jsonl B.jsonl # align two runs, report deltas
     python -m repro.trace --list               # show registered workloads
 
 The JSON output loads directly in Perfetto (https://ui.perfetto.dev) or
@@ -54,6 +56,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--csv", default=None, help="also write a flat CSV of events")
     parser.add_argument(
+        "--jsonl", default=None,
+        help="also write one JSON object per event (input of the diff subcommand)",
+    )
+    parser.add_argument(
         "--ring", type=int, default=1 << 18,
         help="trace ring capacity in events (default 262144); oldest evicted",
     )
@@ -70,7 +76,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    raw = sys.argv[1:] if argv is None else argv
+    if raw and raw[0] == "diff":
+        from repro.trace.diff import main_diff
+
+        return main_diff(raw[1:])
+    args = _build_parser().parse_args(raw)
 
     # imported here so `--help` stays fast and dependency-light
     from repro.bench.figures import registered_programs
@@ -130,6 +141,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.csv:
         n_rows = write_csv_events(events, args.csv)
         print(f"csv  : {n_rows} rows -> {args.csv}")
+    if args.jsonl:
+        from repro.trace.export import write_jsonl
+
+        n_lines = write_jsonl(events, args.jsonl)
+        print(f"jsonl: {n_lines} events -> {args.jsonl}")
 
     if not args.no_check:
         report = check_trace(events)

@@ -158,6 +158,42 @@ def write_chrome_json(events: Iterable[TraceEvent], path: str, label: str = "rep
     return len(doc["traceEvents"])
 
 
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
+    """One JSON object per line (:meth:`TraceEvent.as_dict`); the input
+    format of ``python -m repro.trace diff``.  Returns the line count."""
+    n = 0
+    with open(path, "w") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev.as_dict(), sort_keys=True))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    """Load events written by :func:`write_jsonl`."""
+    out: List[TraceEvent] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            out.append(
+                TraceEvent(
+                    ts=d["ts"],
+                    cat=d["cat"],
+                    name=d["name"],
+                    node=d.get("node", -1),
+                    tid=d.get("tid", "main"),
+                    dur=d.get("dur"),
+                    args=d.get("args") or None,
+                    ph=d.get("ph"),
+                )
+            )
+    return out
+
+
 def write_csv_events(events: Iterable[TraceEvent], path: str) -> int:
     """Flat CSV export (one row per event; args as JSON); returns row count."""
     n = 0

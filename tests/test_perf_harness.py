@@ -46,6 +46,47 @@ def test_measure_workload_is_deterministic_across_repeats():
     assert rec["events"] > 0
 
 
+def test_unprofiled_run_pays_no_profiler_overhead():
+    """The profiler hooks are all guarded by ``sim.prof is None`` checks,
+    so a run without a profiler attached must not be slower than a
+    profiled one (best-of-3 each; generous margin for host noise).  This
+    is the wall-clock face of the zero-cost-when-detached contract the
+    trace recorder already honours."""
+    import time
+
+    from repro.apps import cg
+    from repro.profile import Profiler
+    from repro.runtime import ParadeRuntime
+
+    def best_of(n, profiled):
+        best = float("inf")
+        for _ in range(n):
+            rt = ParadeRuntime(n_nodes=2, pool_bytes=1 << 21)
+            if profiled:
+                Profiler(rt.sim, record_intervals=False)
+            else:
+                assert rt.sim.prof is None
+            t0 = time.perf_counter()
+            rt.run(cg.make_program("T", niter=1))
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    plain = best_of(3, profiled=False)
+    profiled = best_of(3, profiled=True)
+    assert plain <= profiled * 1.5, (
+        f"unprofiled run ({plain:.3f}s) slower than profiled ({profiled:.3f}s): "
+        "a profiler hook is doing work while detached"
+    )
+
+
+def test_phase_breakdown_recorded_and_deterministic():
+    spec = perf._smoke_basket()["cg"]
+    rec = perf.measure_workload(spec, n_nodes=2, repeat=1)
+    ph = rec["phases"]
+    assert ph and abs(sum(ph.values()) - 1.0) < 1e-2
+    assert perf.phase_breakdown(spec, n_nodes=2) == ph
+
+
 def test_compute_speedup_math():
     base = {"a": {"wall_s": 2.0, "events": 100, "events_per_s": 50.0}}
     cur = {"a": {"wall_s": 1.0, "events": 100, "events_per_s": 100.0}}
