@@ -4,7 +4,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test test-slow lint bench-smoke profile-smoke bench perf-baseline perf micro
+.PHONY: test test-slow lint bench-smoke profile-smoke chaos-smoke bench perf-baseline perf micro
 
 test:            ## tier-1 suite
 	python -m pytest -q
@@ -21,6 +21,9 @@ bench-smoke:     ## perf harness on the tiny basket (regression check)
 
 profile-smoke:   ## virtual-time profiler invariant check on one workload
 	python -m repro.profile helmholtz --check
+
+chaos-smoke:     ## fault-injection sweep: bit-identical recovery on a small matrix
+	python -m repro.chaos --sweep --nodes 2 --apps helmholtz --plans drop,dup
 
 bench:           ## regenerate every paper figure
 	python -m pytest benchmarks/ --benchmark-only

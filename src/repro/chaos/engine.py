@@ -1,0 +1,467 @@
+"""The chaos engine: seeded fault injection + the reliability layer.
+
+Attaches to a :class:`~repro.sim.Simulator` the same zero-cost way
+``sim.trace`` / ``sim.san`` / ``sim.prof`` do::
+
+    engine = ChaosEngine(sim, plan_by_name("drop"), seed=7)  # sim.chaos set
+    engine.install(cluster)      # bind network, arm slowdown windows
+    ... run the program ...
+    engine.stats.as_dict()       # injection + recovery counters
+
+When attached, :meth:`Network.send <repro.cluster.network.Network.send>`
+hands every remote frame to :meth:`transmit` instead of scheduling plain
+switch propagation.  The engine then plays both sides of a lossy link:
+
+**Injection** — per-frame fate draws (drop / corrupt / latency spike /
+reorder hold / duplicate) from a per-link RNG stream, deterministic
+outage windows (link flap), per-node CPU derating, and comm-thread
+stalls.  Every stream is seeded from ``(seed, link)``, and the simulator
+itself is deterministic, so one ``(plan, seed)`` pair fully determines
+every fault of a run: two chaos runs are bit-identical and
+trace-diffable.
+
+**Recovery** — a go-back-none ARQ layer: frames carry per-(src, dst)
+sequence numbers (``Message.rel_seq``); the receiving side acks each
+arrival (selective ack, cumulative-free), suppresses duplicates, and
+holds out-of-order frames in a resequencing buffer so the inbox sees the
+exact per-link FIFO order the perfect network guarantees — the order the
+MPI match queues and the sanitizer's happens-before channel edges rely
+on.  The sending side retransmits on a per-frame timer with exponential
+backoff and seeded jitter; a frame that exhausts ``max_retries`` raises
+:class:`ChaosDeliveryError` (the bounded-retransmit guarantee the sweep
+asserts).
+
+Cost model: acks and retransmissions are NIC-offloaded control traffic —
+they pay wire time but do not occupy the transmit engine or charge CPU
+(VIA-style hardware reliable delivery).  Injected faults therefore
+perturb *when* protocol frames arrive, never *what* they carry, which is
+why numerical results must be bit-identical to the fault-free run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional, Tuple
+
+from repro.sim.events import SimulationError
+from repro.chaos.plan import FaultPlan, ReliabilityConfig
+from repro.trace.events import CAT_CHAOS
+
+#: payload-byte estimate used for the DSM re-issue timeout (one page reply)
+_DSM_REPLY_BYTES = 4096
+
+
+class ChaosDeliveryError(SimulationError):
+    """A frame exhausted its retransmit budget (link dead beyond repair)."""
+
+    def __init__(self, msg, attempts: int):
+        super().__init__(
+            f"frame {msg!r} undeliverable after {attempts} attempts "
+            f"(rel_seq {msg.rel_seq}, link {msg.src}->{msg.dst})"
+        )
+        self.msg = msg
+        self.attempts = attempts
+
+
+class ChaosStats:
+    """Injection and recovery counters (see docs/RELIABILITY.md).
+
+    ====================  =========================================================
+    key                   meaning
+    ====================  =========================================================
+    frames                remote frames offered to the chaos pipeline
+    drops                 frames lost to a random drop draw
+    flap_drops            frames (and acks) lost to a link-flap outage window
+    corrupts              frames delivered mangled, discarded by the checksum
+    delays                frames that took a latency spike
+    reorders              frames held so later frames overtook them
+    dups_injected         switch-duplicated deliveries injected
+    retransmits           sender-side retransmissions (timer fired, no ack)
+    max_attempts          worst per-frame transmission count (1 = first try)
+    acks_sent             reliability acks put on the wire
+    ack_drops             acks lost (random draw or flap) — recovered by dup
+                          suppression after the retransmit
+    dup_suppressed        receiver-side duplicate frames discarded by rel_seq
+    reorder_buffered      frames parked in the resequencing buffer
+    dsm_reissues          DSM requests idempotently re-issued after a quiet RTO
+    comm_stalls           injected comm-thread service stalls
+    slowdown_windows      node CPU-derating windows entered
+    ====================  =========================================================
+    """
+
+    __slots__ = (
+        "frames", "drops", "flap_drops", "corrupts", "delays", "reorders",
+        "dups_injected", "retransmits", "max_attempts", "acks_sent",
+        "ack_drops", "dup_suppressed", "reorder_buffered", "dsm_reissues",
+        "comm_stalls", "slowdown_windows",
+    )
+
+    def __init__(self):
+        for k in self.__slots__:
+            setattr(self, k, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {k: getattr(self, k) for k in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        hot = {k: v for k, v in self.as_dict().items() if v}
+        return f"<ChaosStats {hot}>"
+
+
+class _LinkState:
+    """Reliability + fate state of one directed (src, dst) link."""
+
+    __slots__ = ("rng", "tx_seq", "rx_next", "rx_buf", "outstanding")
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.tx_seq = 0
+        self.rx_next = 0
+        #: rel_seq -> buffered out-of-order Message
+        self.rx_buf: Dict[int, Any] = {}
+        #: rel_seq -> [msg, attempts_so_far, last_send_time]
+        self.outstanding: Dict[int, list] = {}
+
+
+class ChaosEngine:
+    """Seeded fault injection + ack/retransmit recovery, bound to one sim.
+
+    Parameters
+    ----------
+    sim : the simulator to attach to (``sim.chaos`` is set unless
+        ``attach=False``)
+    plan : the :class:`~repro.chaos.plan.FaultPlan` to execute
+    seed : integer the per-link / per-node RNG streams derive from; the
+        same (plan, seed) pair reproduces every fault bit-for-bit
+    reliability : override of the plan's ack/retransmit tuning
+    """
+
+    def __init__(
+        self,
+        sim,
+        plan: FaultPlan,
+        seed: int = 0,
+        reliability: Optional[ReliabilityConfig] = None,
+        attach: bool = True,
+    ):
+        self.sim = sim
+        self.plan = plan
+        self.seed = int(seed)
+        self.reliability = reliability or plan.reliability
+        self.stats = ChaosStats()
+        self.network = None
+        self._links: Dict[Tuple[int, int], _LinkState] = {}
+        self._stall_rngs: Dict[int, random.Random] = {}
+        if attach:
+            self.attach()
+
+    # -- lifecycle ------------------------------------------------------
+    def attach(self) -> "ChaosEngine":
+        """Install as ``sim.chaos`` so the network and comm threads find us."""
+        self.sim.chaos = self
+        return self
+
+    def detach(self) -> "ChaosEngine":
+        if getattr(self.sim, "chaos", None) is self:
+            self.sim.chaos = None
+        return self
+
+    def install(self, cluster) -> "ChaosEngine":
+        """Bind the cluster's network and arm node-slowdown windows."""
+        self._bind(cluster.network)
+        for sd in self.plan.slowdowns:
+            if not (0 <= sd.node < len(cluster.nodes)):
+                raise ValueError(
+                    f"slowdown names node {sd.node} but the cluster has "
+                    f"{len(cluster.nodes)} nodes"
+                )
+            node = cluster.nodes[sd.node]
+
+            def begin(ev=None, node=node, sd=sd):
+                node.speed_factor = node.speed_factor / sd.factor
+                self.stats.slowdown_windows += 1
+                tr = self.sim.trace
+                if tr is not None:
+                    tr.instant(CAT_CHAOS, "slowdown-begin", node=node.id,
+                               tid="chaos", factor=sd.factor)
+
+            if sd.t0 <= 0.0:
+                # derate synchronously: a window open from t=0 must cover
+                # the very first compute burst, which may be scheduled
+                # ahead of any timer callback
+                begin()
+            else:
+                self.sim.timeout(sd.t0).add_callback(begin)
+            if sd.t1 != float("inf"):
+
+                def end(ev, node=node, sd=sd):
+                    node.speed_factor = node.speed_factor * sd.factor
+                    tr = self.sim.trace
+                    if tr is not None:
+                        tr.instant(CAT_CHAOS, "slowdown-end", node=node.id,
+                                   tid="chaos", factor=sd.factor)
+
+                self.sim.timeout(sd.t1).add_callback(end)
+        return self
+
+    def _bind(self, network) -> None:
+        if self.network is None:
+            self.network = network
+        elif self.network is not network:
+            raise RuntimeError("one ChaosEngine cannot serve two networks")
+
+    # -- RNG streams ----------------------------------------------------
+    def _link(self, src: int, dst: int) -> _LinkState:
+        ls = self._links.get((src, dst))
+        if ls is None:
+            # stable integer stream key: seeding must not depend on
+            # process-randomised hashing or on link discovery order
+            stream = (self.seed * 1_000_003 + src * 8191 + dst * 131) & 0xFFFFFFFF
+            ls = _LinkState(random.Random(stream))
+            self._links[(src, dst)] = ls
+        return ls
+
+    def _stall_rng(self, node: int) -> random.Random:
+        rng = self._stall_rngs.get(node)
+        if rng is None:
+            rng = random.Random((self.seed * 1_000_003 + 0x57A11 + node * 977) & 0xFFFFFFFF)
+            self._stall_rngs[node] = rng
+        return rng
+
+    # -- timeouts -------------------------------------------------------
+    def _ideal_rtt(self, nbytes: int) -> float:
+        ic = self.network.interconnect
+        return (
+            2.0 * ic.latency
+            + nbytes / ic.bandwidth
+            + ic.send_cpu_time(nbytes)
+            + ic.recv_cpu_time(nbytes)
+        )
+
+    def _rto(self, ls: _LinkState, nbytes: int, attempt: int) -> float:
+        rel = self.reliability
+        rto = max(rel.min_rto, rel.rto_rtts * self._ideal_rtt(nbytes))
+        rto *= rel.backoff ** attempt
+        return rto * (1.0 + rel.jitter * ls.rng.random())
+
+    def dsm_rto(self) -> float:
+        """Quiet time after which a DSM requester idempotently re-issues
+        (generous: comm-thread service and CPU contention sit inside it)."""
+        rel = self.reliability
+        return max(rel.min_rto, rel.dsm_rto_rtts * self._ideal_rtt(_DSM_REPLY_BYTES))
+
+    # -- transmit path --------------------------------------------------
+    def transmit(self, network, msg) -> None:
+        """Take ownership of one remote frame after NIC serialisation.
+
+        Called by :meth:`Network.send`; assigns the link sequence number,
+        registers the frame for ack tracking, launches the first
+        transmission attempt through the fault pipeline, and arms the
+        retransmit timer.
+        """
+        self._bind(network)
+        ls = self._link(msg.src, msg.dst)
+        msg.rel_seq = ls.tx_seq
+        ls.tx_seq += 1
+        ls.outstanding[msg.rel_seq] = [msg, 1, self.sim.now]
+        self.stats.frames += 1
+        if self.stats.max_attempts < 1:
+            self.stats.max_attempts = 1
+        self._launch(ls, msg, attempt=0)
+        self._arm_timer(ls, msg, attempt=0)
+
+    def _channel_of(self, msg) -> str:
+        tag = msg.tag
+        return str(tag[0] if isinstance(tag, tuple) else tag)
+
+    def _launch(self, ls: _LinkState, msg, attempt: int) -> None:
+        """One transmission attempt: evaluate the frame's fate, then either
+        lose it or schedule its arrival at the receiving link end."""
+        sim = self.sim
+        ic = self.network.interconnect
+        tr = sim.trace
+        if self.plan.flapped(msg.src, msg.dst, sim.now):
+            self.stats.flap_drops += 1
+            if tr is not None:
+                tr.instant(CAT_CHAOS, "flap-drop", node=msg.src, tid="chaos",
+                           dst=msg.dst, seq=msg.seq, rel_seq=msg.rel_seq)
+                self._counters(tr)
+            return  # the retransmit timer recovers
+
+    # fate draws in a fixed order from the link stream; short-circuiting
+    # after a drop is fine for determinism (same seed => same outcomes)
+        delay = ic.latency
+        if attempt > 0:
+            # retransmits pay serialisation as wire time (NIC-offloaded)
+            delay += msg.nbytes / ic.bandwidth
+        corrupt = False
+        f = self.plan.fault_for(msg.src, msg.dst, self._channel_of(msg))
+        if f is not None:
+            rng = ls.rng
+            if f.drop and rng.random() < f.drop:
+                self.stats.drops += 1
+                if tr is not None:
+                    tr.instant(CAT_CHAOS, "drop", node=msg.src, tid="chaos",
+                               dst=msg.dst, seq=msg.seq, rel_seq=msg.rel_seq)
+                    self._counters(tr)
+                return
+            if f.corrupt and rng.random() < f.corrupt:
+                corrupt = True
+                self.stats.corrupts += 1
+            if f.delay and rng.random() < f.delay:
+                delay += f.delay_s
+                self.stats.delays += 1
+                if tr is not None:
+                    tr.instant(CAT_CHAOS, "delay", node=msg.src, tid="chaos",
+                               dst=msg.dst, seq=msg.seq, spike=f.delay_s)
+            if f.reorder and rng.random() < f.reorder:
+                delay += f.reorder_s
+                self.stats.reorders += 1
+                if tr is not None:
+                    tr.instant(CAT_CHAOS, "reorder-hold", node=msg.src, tid="chaos",
+                               dst=msg.dst, seq=msg.seq, hold=f.reorder_s)
+            if f.duplicate and rng.random() < f.duplicate:
+                self.stats.dups_injected += 1
+                if tr is not None:
+                    tr.instant(CAT_CHAOS, "dup", node=msg.src, tid="chaos",
+                               dst=msg.dst, seq=msg.seq, rel_seq=msg.rel_seq)
+                t0 = sim.now
+                dup = sim.timeout(delay + 0.5 * ic.latency)
+                dup.add_callback(lambda ev: self._arrive(ls, msg, False, t0))
+        flight_t0 = sim.now
+        arrival = sim.timeout(delay)
+        arrival.add_callback(lambda ev: self._arrive(ls, msg, corrupt, flight_t0))
+
+    def _arrive(self, ls: _LinkState, msg, corrupt: bool, flight_t0: float) -> None:
+        """Receiving link end: checksum, ack, dedup, resequence, deliver."""
+        tr = self.sim.trace
+        if corrupt:
+            # checksum failure: indistinguishable from a drop to the
+            # receiver's protocol layers; the sender's timer recovers
+            if tr is not None:
+                tr.instant(CAT_CHAOS, "corrupt-drop", node=msg.dst, tid="chaos",
+                           src=msg.src, seq=msg.seq, rel_seq=msg.rel_seq)
+                self._counters(tr)
+            return
+        seq = msg.rel_seq
+        # selective ack for every intact arrival (duplicates re-ack: the
+        # first ack may itself have been lost)
+        self._send_ack(ls, msg)
+        if seq < ls.rx_next or seq in ls.rx_buf:
+            self.stats.dup_suppressed += 1
+            if tr is not None:
+                tr.instant(CAT_CHAOS, "dup-suppress", node=msg.dst, tid="chaos",
+                           src=msg.src, seq=msg.seq, rel_seq=seq)
+                self._counters(tr)
+            return
+        if seq > ls.rx_next:
+            ls.rx_buf[seq] = (msg, flight_t0)
+            self.stats.reorder_buffered += 1
+            if tr is not None:
+                tr.instant(CAT_CHAOS, "resequence-hold", node=msg.dst, tid="chaos",
+                           src=msg.src, seq=msg.seq, rel_seq=seq, expected=ls.rx_next)
+            return
+        # in order: deliver, then drain the resequencing buffer
+        self.network._deliver(msg, flight_t0=flight_t0)
+        ls.rx_next += 1
+        while ls.rx_next in ls.rx_buf:
+            held, held_t0 = ls.rx_buf.pop(ls.rx_next)
+            self.network._deliver(held, flight_t0=held_t0)
+            ls.rx_next += 1
+
+    # -- ack / retransmit ------------------------------------------------
+    def _send_ack(self, ls: _LinkState, msg) -> None:
+        """Wire-time-only control frame from ``msg.dst`` back to ``msg.src``."""
+        sim = self.sim
+        self.stats.acks_sent += 1
+        lost = self.plan.flapped(msg.dst, msg.src, sim.now)
+        if not lost:
+            f = self.plan.fault_for(msg.src, msg.dst, self._channel_of(msg))
+            if f is not None and f.ack_drop and ls.rng.random() < f.ack_drop:
+                lost = True
+        if lost:
+            self.stats.ack_drops += 1
+            tr = self.sim.trace
+            if tr is not None:
+                tr.instant(CAT_CHAOS, "ack-drop", node=msg.dst, tid="chaos",
+                           src=msg.src, rel_seq=msg.rel_seq)
+            return
+        seq = msg.rel_seq
+        back = sim.timeout(self.network.interconnect.latency)
+        back.add_callback(lambda ev: ls.outstanding.pop(seq, None))
+
+    def _arm_timer(self, ls: _LinkState, msg, attempt: int) -> None:
+        sim = self.sim
+        seq = msg.rel_seq
+        timer = sim.timeout(self._rto(ls, msg.nbytes, attempt))
+
+        def fire(ev):
+            ent = ls.outstanding.get(seq)
+            if ent is None or ent[1] != attempt + 1:
+                return  # acked, or a newer attempt owns the timer
+            if attempt + 1 > self.reliability.max_retries:
+                raise ChaosDeliveryError(msg, ent[1])
+            ent[1] += 1
+            if ent[1] > self.stats.max_attempts:
+                self.stats.max_attempts = ent[1]
+            self.stats.retransmits += 1
+            prof = sim.prof
+            if prof is not None:
+                # the wire sat dead from the last attempt to this timer
+                prof.on_retransmit_wait(ent[2], sim.now)
+            tr = sim.trace
+            if tr is not None:
+                tr.instant(CAT_CHAOS, "retransmit", node=msg.src, tid="chaos",
+                           dst=msg.dst, seq=msg.seq, rel_seq=seq, attempt=ent[1])
+                self._counters(tr)
+            ent[2] = sim.now
+            self._launch(ls, msg, attempt + 1)
+            self._arm_timer(ls, msg, attempt + 1)
+
+        timer.add_callback(fire)
+
+    # -- comm-thread stalls ----------------------------------------------
+    def comm_stall(self, node_id: int) -> float:
+        """Seconds the comm thread should wedge before servicing the next
+        frame (0.0 almost always); called once per drained message."""
+        spec = self.plan.stall_for(node_id)
+        if spec is None or spec.prob <= 0.0:
+            return 0.0
+        if self._stall_rng(node_id).random() >= spec.prob:
+            return 0.0
+        self.stats.comm_stalls += 1
+        tr = self.sim.trace
+        if tr is not None:
+            tr.instant(CAT_CHAOS, "comm-stall", node=node_id, tid="chaos",
+                       stall=spec.stall_s)
+        return spec.stall_s
+
+    # -- observability ----------------------------------------------------
+    def _counters(self, tr) -> None:
+        """One sample of the reliability counter series (``ph:"C"``)."""
+        s = self.stats
+        tr.counter(
+            CAT_CHAOS, "reliability",
+            drops=s.drops + s.flap_drops + s.corrupts,
+            dups=s.dup_suppressed,
+            retransmits=s.retransmits,
+            outstanding=sum(len(ls.outstanding) for ls in self._links.values()),
+        )
+
+    @property
+    def outstanding_frames(self) -> int:
+        """Frames sent but not yet acked (drains to 0 as timers settle)."""
+        return sum(len(ls.outstanding) for ls in self._links.values())
+
+    def summary(self) -> str:
+        s = self.stats
+        lines = [f"chaos plan {self.plan.name!r} seed {self.seed}:"]
+        for k, v in s.as_dict().items():
+            if v:
+                lines.append(f"  {k:<18}: {v:>8}")
+        if len(lines) == 1:
+            lines.append("  (nothing injected)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ChaosEngine plan={self.plan.name!r} seed={self.seed} {self.stats!r}>"

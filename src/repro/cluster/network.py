@@ -8,10 +8,8 @@ node's CPU.  Messages between distinct node pairs flow concurrently.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, List
-
-from repro.sim import Event
+from dataclasses import dataclass
+from typing import Any, List, Optional
 
 
 @dataclass(slots=True)
@@ -26,6 +24,9 @@ class Message:
     seq: int = -1
     send_time: float = 0.0
     deliver_time: float = 0.0
+    #: reliability-layer per-(src, dst) sequence number; -1 outside chaos
+    #: runs (the perfect network needs no ack/retransmit layer)
+    rel_seq: int = -1
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Msg #{self.seq} {self.src}->{self.dst} {self.nbytes}B tag={self.tag!r}>"
@@ -78,9 +79,18 @@ class Network:
 
         if src == dst:
             # Loopback: no NIC, just a copy cost, delivered immediately.
+            # Never routed through the chaos engine — a frame that stays
+            # on one node does not traverse the (faulty) interconnect.
             yield from node.busy_cpu(0.5e-6 + nbytes * 0.5e-9)
             msg.deliver_time = self.sim.now
-            self.nodes[dst].inbox.put(msg)
+            node.msgs_received += 1
+            node.bytes_received += nbytes
+            if tr is not None:
+                tr.instant(
+                    "net", "msg-deliver", node=dst, tid="wire",
+                    src=src, nbytes=nbytes, tag=str(tag), seq=msg.seq,
+                )
+            node.inbox.put(msg)
             return msg
 
         ic = self.interconnect
@@ -112,12 +122,29 @@ class Network:
                 node.nic_tx.release(req)
         if tr is not None:
             tr.span("net", "nic-tx", t0, node=src, dst=dst, nbytes=nbytes, seq=msg.seq)
+        ch = self.sim.chaos
+        if ch is not None:
+            # Fault-injected path: the chaos engine owns propagation —
+            # it may drop, duplicate, delay, or corrupt the frame, and its
+            # ack/retransmit layer guarantees exactly-once in-order
+            # delivery into the inbox via _deliver.
+            ch.transmit(self, msg)
+            return msg
         # Propagation through the switch: pure delay, then delivery.
         deliver = self.sim.timeout(ic.latency)
         deliver.add_callback(lambda ev: self._deliver(msg))
         return msg
 
-    def _deliver(self, msg: Message) -> None:
+    def _deliver(self, msg: Message, flight_t0: Optional[float] = None) -> None:
+        """Terminal delivery into the destination inbox.
+
+        Every remote frame — perfect-network or chaos-recovered — funnels
+        through here, so receive accounting, the ``msg-deliver`` trace
+        instant, and the profiler's flight interval cannot be skipped by
+        any delivery path.  *flight_t0* is the virtual time the frame
+        entered the switch; ``None`` means one nominal latency ago (the
+        perfect-network case).
+        """
         msg.deliver_time = self.sim.now
         node = self.nodes[msg.dst]
         node.msgs_received += 1
@@ -126,7 +153,9 @@ class Network:
         if prof is not None:
             # the switch-propagation leg, on the pseudo-thread "net"
             prof.on_net_flight(
-                self.sim.now - self.interconnect.latency, self.sim.now
+                self.sim.now - self.interconnect.latency if flight_t0 is None
+                else flight_t0,
+                self.sim.now,
             )
         tr = self.sim.trace
         if tr is not None:

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.sim import Resource, Store, Timeout
 
 
@@ -38,7 +36,10 @@ class Node:
     # timeout, release) is identical.
     def compute(self, work_units: float, priority: int = 0):
         """Generator: occupy one CPU for *work_units* of application work."""
-        seconds = self.config.compute_seconds(work_units, self.id)
+        # same float expression as config.compute_seconds, but through the
+        # node's *live* speed, so a chaos NodeSlowdown window derates
+        # compute bursts too (the cached factor equals the config's)
+        seconds = work_units * self.config.seconds_per_work_unit / self.speed_factor
         self.compute_time += seconds
         req = self.cpus.request(priority=priority)
         prof = self.sim.prof

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
-from repro.sim import Event
+from repro.sim import AnyOf, Event
 from repro.vm import (
     AddressSpace,
     PhysicalMemory,
@@ -116,6 +116,12 @@ class DsmNodeStats:
                                   update (``dsm.page/page-wait`` spans)
     fetches_served        count   fetch/diff requests served as home       comm-thread contention,
                                   (``dsm.page/serve-fetch``)               §6.2 configurations
+    dsm_reissues          count   fetch/dget requests idempotently         reliability ablations
+                                  re-issued after a quiet RTO, chaos       (docs/RELIABILITY.md)
+                                  runs only (``chaos/dsm-reissue``)
+    stale_replies         count   duplicate/late replies discarded         reliability ablations
+                                  after a re-issue already resolved
+                                  the request (``chaos/stale-reply``)
     ====================  ======  =======================================  ==========================
     """
 
@@ -132,6 +138,8 @@ class DsmNodeStats:
     invalidations: int = 0
     blocked_waits: int = 0
     fetches_served: int = 0
+    dsm_reissues: int = 0
+    stale_replies: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -479,8 +487,56 @@ class DsmNode:
         return ev
 
     def _resolve(self, req_id: int, value) -> None:
-        ev = self._pending.pop(req_id)
+        ev = self._pending.pop(req_id, None)
+        if ev is None:
+            # On a perfect network every request gets exactly one reply, so
+            # an unmatched req_id is protocol corruption — keep the strict
+            # failure.  Under chaos an idempotent re-issue (_await_reply)
+            # can legitimately draw a second reply: count and drop it.
+            if self.sim.chaos is None:
+                raise KeyError(req_id)
+            self.stats.stale_replies += 1
+            tr = self.sim.trace
+            if tr is not None:
+                tr.instant("chaos", "stale-reply", node=self.id,
+                           tid="chaos", req=req_id)
+            return
         ev.succeed(value)
+
+    def _await_reply(self, ev: Event, resend):
+        """Wait for a request's reply event; under chaos, idempotently
+        re-issue the request after quiet RTOs.
+
+        *resend* is a generator function replaying the original send with
+        the **same** req_id — only used for pure reads (page fetch, diff
+        pull), which are idempotent: a duplicate reply is discarded by
+        :meth:`_resolve` as stale.  Non-idempotent requests (lock acquire,
+        barrier arrival, diff application) rely solely on the chaos
+        engine's ack/retransmit layer, which already guarantees
+        exactly-once delivery.  Re-issues are bounded by
+        ``dsm_max_reissues``; past that we trust the link layer (which
+        raises :class:`~repro.chaos.ChaosDeliveryError` if truly dead).
+        """
+        ch = self.sim.chaos
+        if ch is None:
+            value = yield ev
+            return value
+        rel = ch.reliability
+        rto = ch.dsm_rto()
+        tr = self.sim.trace
+        for attempt in range(rel.dsm_max_reissues):
+            timer = self.sim.timeout(rto * (rel.backoff ** attempt))
+            yield AnyOf(self.sim, [ev, timer])
+            if ev.processed:
+                return ev.value
+            self.stats.dsm_reissues += 1
+            ch.stats.dsm_reissues += 1
+            if tr is not None:
+                tr.instant("chaos", "dsm-reissue", node=self.id,
+                           tid="chaos", attempt=attempt + 1)
+            yield from resend()
+        value = yield ev
+        return value
 
     def _fetch_page(self, page: int):
         """Request the up-to-date page from its home; returns page bytes."""
@@ -489,20 +545,22 @@ class DsmNode:
         req_id = self._next_req()
         ev = self._pending_event(req_id)
         t0 = self.sim.now
-        prof = self.sim.prof
-        if prof is None:
+
+        def send_req():
             yield from self.net.send(
                 self.id, home, 8, (page, self.id), tag=("dsm", "fetch", req_id)
             )
-            data = yield ev
+
+        prof = self.sim.prof
+        if prof is None:
+            yield from send_req()
+            data = yield from self._await_reply(ev, send_req)
         else:
             # request round-trip: send + wait for the home's reply
             prof.push(PH_FAULT_FETCH)
             try:
-                yield from self.net.send(
-                    self.id, home, 8, (page, self.id), tag=("dsm", "fetch", req_id)
-                )
-                data = yield ev
+                yield from send_req()
+                data = yield from self._await_reply(ev, send_req)
             finally:
                 prof.pop()
             prof.on_fetch(page, len(data))
@@ -532,19 +590,21 @@ class DsmNode:
             for w in writers:
                 req_id = self._next_req()
                 ev = self._pending_event(req_id)
-                prof = self.sim.prof
-                if prof is None:
+
+                def send_req(w=w, req_id=req_id):
                     yield from self.net.send(
                         self.id, w, 12, (page, epoch, self.id), tag=("dsm", "dget", req_id)
                     )
-                    diff = yield ev
+
+                prof = self.sim.prof
+                if prof is None:
+                    yield from send_req()
+                    diff = yield from self._await_reply(ev, send_req)
                 else:
                     prof.push(PH_FAULT_FETCH)
                     try:
-                        yield from self.net.send(
-                            self.id, w, 12, (page, epoch, self.id), tag=("dsm", "dget", req_id)
-                        )
-                        diff = yield ev
+                        yield from send_req()
+                        diff = yield from self._await_reply(ev, send_req)
                     finally:
                         prof.pop()
                 self.stats.pages_fetched += 1

@@ -70,6 +70,13 @@ class CommThread:
             msg = yield inbox_get()
             if msg is POISON:
                 return
+            ch = sim.chaos
+            if ch is not None:
+                # injected comm-thread stall: the service thread wedges
+                # (page-out, interrupt storm ...) before touching the frame
+                stall = ch.comm_stall(node.id)
+                if stall > 0.0:
+                    yield sim.timeout(stall)
             t0 = sim.now
             prof = sim.prof
             if prof is not None:

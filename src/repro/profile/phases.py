@@ -40,6 +40,10 @@ phase               group   meaning
 ``comm-service``    comm    comm thread draining + dispatching one message
 ``net-tx``          comm    NIC transmit occupancy (sender side)
 ``net-flight``      comm    switch propagation (pseudo-thread ``net``)
+``retransmit-wait`` comm    reliability-layer dead time: a frame was lost
+                            (or its ack was) and the wire sat idle until the
+                            retransmit timer fired (pseudo-thread ``net``;
+                            only appears under :mod:`repro.chaos` injection)
 ``idle``            idle    nothing attributed (inbox wait, fork wait, slack)
 ==================  ======  =====================================================
 
@@ -68,6 +72,7 @@ PH_FORK_JOIN = "fork-join"
 PH_COMM_SERVICE = "comm-service"
 PH_NET_TX = "net-tx"
 PH_NET_FLIGHT = "net-flight"
+PH_RETRANSMIT = "retransmit-wait"
 PH_IDLE = "idle"
 
 #: report/ledger column order (idle last)
@@ -88,6 +93,7 @@ ALL_PHASES: Tuple[str, ...] = (
     PH_COMM_SERVICE,
     PH_NET_TX,
     PH_NET_FLIGHT,
+    PH_RETRANSMIT,
     PH_IDLE,
 )
 
@@ -124,6 +130,7 @@ GROUP_OF: Dict[str, str] = {
     PH_COMM_SERVICE: GROUP_COMM,
     PH_NET_TX: GROUP_COMM,
     PH_NET_FLIGHT: GROUP_COMM,
+    PH_RETRANSMIT: GROUP_COMM,
     PH_IDLE: GROUP_IDLE,
 }
 

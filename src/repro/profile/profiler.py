@@ -30,7 +30,7 @@ Chrome-counter export (:mod:`repro.profile.export`).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.profile.phases import (
     ALL_GROUPS,
@@ -111,6 +111,9 @@ class Profiler:
         self.net_intervals: List[Interval] = []
         self.net_flight_s = 0.0
         self.net_flights = 0
+        #: reliability-layer retransmit-timer dead time (chaos runs only)
+        self.retransmit_waits = 0
+        self.retransmit_wait_s = 0.0
         self.pages: Dict[int, PageStats] = {}
         self.locks: Dict[int, LockStats] = {}
         self.finalized_at: Optional[float] = None
@@ -220,6 +223,19 @@ class Profiler:
             from repro.profile.phases import PH_NET_FLIGHT
 
             self.net_intervals.append((t0, t1, NET_TID, PH_NET_FLIGHT, True))
+
+    def on_retransmit_wait(self, t0: float, t1: float) -> None:
+        """Record the dead time preceding one reliability-layer retransmit:
+        the frame (or its ack) was lost at *t0* and the retransmit timer
+        fired at *t1*.  Attributed to the pseudo-thread ``net`` like
+        switch propagation, so lossy-link stalls show up on the critical
+        path as ``retransmit-wait`` rather than unattributed slack."""
+        self.retransmit_waits += 1
+        self.retransmit_wait_s += t1 - t0
+        if self.record_intervals and t1 > t0:
+            from repro.profile.phases import PH_RETRANSMIT
+
+            self.net_intervals.append((t0, t1, NET_TID, PH_RETRANSMIT, True))
 
     # -- hot-page hooks ---------------------------------------------------
     def _page(self, page: int) -> PageStats:

@@ -46,6 +46,34 @@ class RunResult:
                        counts once per participating rank)
     ============ ===== ========================================================
 
+    ``chaos_stats`` (reliability level; empty unless the run had a
+    ``fault_plan``; from :meth:`~repro.chaos.ChaosStats.as_dict`):
+
+    ================= ===== ===================================================
+    key               unit  meaning
+    ================= ===== ===================================================
+    frames            count remote frames offered to the chaos pipeline
+    drops             count frames lost to a random drop draw
+    flap_drops        count frames + acks lost to outage windows
+    corrupts          count frames discarded by the receiver checksum
+    delays            count frames that took a latency spike
+    reorders          count frames held so successors overtook them
+    dups_injected     count switch-duplicated deliveries injected
+    retransmits       count sender retransmissions (timer fired unacked)
+    max_attempts      count worst per-frame transmission count (1 = clean)
+    acks_sent         count reliability acks put on the wire
+    ack_drops         count acks lost (draw or flap)
+    dup_suppressed    count duplicate frames discarded by ``rel_seq`` dedup
+    reorder_buffered  count frames parked in the resequencing buffer
+    dsm_reissues      count DSM requests idempotently re-issued
+    comm_stalls       count injected comm-thread service stalls
+    slowdown_windows  count node CPU-derating windows entered
+    ================= ===== ===================================================
+
+    The graceful-degradation guarantee (docs/RELIABILITY.md): whatever
+    these counters say, ``value`` is bit-identical to the fault-free
+    run's — chaos perturbs timing, never data.
+
     ``node_profile`` rows (one dict per node; consumed by
     :meth:`node_report` and the §8 adaptive-configuration search):
 
@@ -68,6 +96,8 @@ class RunResult:
     cluster_stats: Dict[str, float] = field(default_factory=dict)
     dsm_stats: Dict[str, int] = field(default_factory=dict)
     mpi_stats: Dict[str, int] = field(default_factory=dict)
+    #: fault-injection + recovery counters (empty without a fault_plan)
+    chaos_stats: Dict[str, int] = field(default_factory=dict)
 
     #: per-node rows: filled by ParadeRuntime.run
     node_profile: list = field(default_factory=list)
@@ -121,4 +151,15 @@ class RunResult:
             v = self.dsm_stats.get(k, 0)
             if v:
                 lines.append(f"{k:<15}: {v:>10}")
+        if self.chaos_stats.get("frames"):
+            lost = (
+                self.chaos_stats.get("drops", 0)
+                + self.chaos_stats.get("flap_drops", 0)
+                + self.chaos_stats.get("corrupts", 0)
+            )
+            lines.append(
+                f"{'chaos':<15}: {self.chaos_stats['frames']:>10} frames, "
+                f"{lost} lost, {self.chaos_stats.get('retransmits', 0)} "
+                f"retransmits (recovered)"
+            )
         return "\n".join(lines)

@@ -47,6 +47,14 @@ class ParadeRuntime:
     profile : attach a virtual-time :class:`~repro.profile.Profiler`;
         the attached instance is available as :attr:`profiler` (finalized
         automatically when :meth:`run` returns)
+    fault_plan : a :class:`~repro.chaos.FaultPlan` to execute the run
+        under; builds a :class:`~repro.chaos.ChaosEngine` (available as
+        :attr:`chaos`), installs it on the cluster, and reports its
+        counters through ``RunResult.chaos_stats``
+    chaos_seed : seed of the engine's per-link fault streams (one
+        (plan, seed) pair reproduces every fault bit-for-bit)
+    reliability : optional :class:`~repro.chaos.ReliabilityConfig`
+        overriding the plan's ack/retransmit tuning
     """
 
     def __init__(
@@ -59,6 +67,9 @@ class ParadeRuntime:
         pool_bytes: Optional[int] = None,
         sanitize: Optional[bool] = None,
         profile: bool = False,
+        fault_plan=None,
+        chaos_seed: int = 0,
+        reliability=None,
     ):
         if mode not in ("parade", "sdsm"):
             raise ValueError(f"mode must be 'parade' or 'sdsm', got {mode!r}")
@@ -92,6 +103,14 @@ class ParadeRuntime:
             from repro.profile import Profiler
 
             self.profiler = Profiler(self.sim)
+        self.chaos = None
+        if fault_plan is not None:
+            from repro.chaos import ChaosEngine
+
+            self.chaos = ChaosEngine(
+                self.sim, fault_plan, seed=chaos_seed, reliability=reliability
+            )
+            self.chaos.install(self.cluster)
         from repro.runtime.dynamic import DynamicScheduler
 
         self.dynamic_scheduler = DynamicScheduler(self)
@@ -299,4 +318,7 @@ class ParadeRuntime:
                 "collectives": self.comm.n_collectives,
             },
             node_profile=profile,
+            chaos_stats=(
+                self.chaos.stats.as_dict() if self.chaos is not None else {}
+            ),
         )

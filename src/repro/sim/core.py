@@ -65,6 +65,11 @@ class Simulator:
         #: attached :class:`repro.profile.Profiler`, or None.  Same
         #: zero-cost-when-detached contract as :attr:`trace`.
         self.prof = None
+        #: attached :class:`repro.chaos.ChaosEngine`, or None.  Same
+        #: zero-cost-when-detached contract as :attr:`trace`: the network
+        #: and comm threads guard on this being None, so a chaos-free run
+        #: pays one load and one compare per message.
+        self.chaos = None
         #: the :class:`Process` currently advancing its generator; tracing
         #: uses its label as the emitting track ("thread") name.
         self.active_process = None

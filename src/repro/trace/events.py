@@ -35,6 +35,10 @@ Categories
 :data:`CAT_COUNTER`       sampled counter series (``ph: "C"`` in the Chrome
                           export): event-queue depth, per-node page-state
                           census at barriers
+:data:`CAT_CHAOS`         fault injection and recovery: injected
+                          drops/dups/delays/corruptions, retransmissions,
+                          duplicate suppression, plus the ``reliability``
+                          counter series (retransmit/duplicate/drop depth)
 ========================  ====================================================
 
 :data:`DEFAULT_CATEGORIES` is everything except :data:`CAT_SIM`: kernel
@@ -54,9 +58,11 @@ CAT_BARRIER = "dsm.barrier"
 CAT_MPI = "mpi"
 CAT_RUNTIME = "runtime"
 CAT_COUNTER = "counter"
+CAT_CHAOS = "chaos"
 
 ALL_CATEGORIES = frozenset(
-    {CAT_SIM, CAT_NET, CAT_PAGE, CAT_LOCK, CAT_BARRIER, CAT_MPI, CAT_RUNTIME, CAT_COUNTER}
+    {CAT_SIM, CAT_NET, CAT_PAGE, CAT_LOCK, CAT_BARRIER, CAT_MPI, CAT_RUNTIME,
+     CAT_COUNTER, CAT_CHAOS}
 )
 DEFAULT_CATEGORIES = ALL_CATEGORIES - {CAT_SIM}
 

@@ -1,0 +1,76 @@
+"""Cross-document link integrity for the docs site.
+
+The guides in ``docs/`` and the top-level documents cross-reference each
+other heavily (the index in ``docs/README.md`` is the hub).  These tests
+walk every markdown file and assert that every *relative* link resolves
+to a real file, so a rename or a typo breaks CI instead of a reader.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Top-level documents plus everything under docs/.
+MARKDOWN_FILES = sorted(
+    [p for p in REPO.glob("*.md")] + [p for p in (REPO / "docs").glob("*.md")]
+)
+
+# [text](target) — inline links only; reference-style links are unused here.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+GUIDES = (
+    "ARCHITECTURE.md",
+    "TRACING.md",
+    "SANITIZER.md",
+    "PROFILING.md",
+    "RELIABILITY.md",
+    "PERFORMANCE.md",
+)
+
+
+def _relative_links(md: Path):
+    """Yield (target, anchor-stripped path) for every relative link in *md*."""
+    for target in _LINK_RE.findall(md.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target, target.split("#", 1)[0]
+
+
+def test_markdown_corpus_is_nonempty():
+    names = {p.name for p in MARKDOWN_FILES}
+    assert "README.md" in names and "EXPERIMENTS.md" in names
+    assert (REPO / "docs" / "README.md") in MARKDOWN_FILES
+
+
+@pytest.mark.parametrize("md", MARKDOWN_FILES, ids=lambda p: str(p.relative_to(REPO)))
+def test_relative_links_resolve(md):
+    broken = []
+    for target, path_part in _relative_links(md):
+        if not path_part:  # pure-anchor link, handled by startswith("#") above
+            continue
+        resolved = (md.parent / path_part).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{md.relative_to(REPO)} has dead links: {broken}"
+
+
+def test_docs_index_links_every_guide():
+    index = (REPO / "docs" / "README.md").read_text(encoding="utf-8")
+    linked = {path for _, path in _relative_links(REPO / "docs" / "README.md")}
+    for guide in GUIDES:
+        assert guide in linked, f"docs/README.md does not link {guide}"
+    # ... and each guide file actually exists (belt and braces with the
+    # resolution test above, but this one names the missing guide).
+    for guide in GUIDES:
+        assert (REPO / "docs" / guide).exists(), f"docs/{guide} missing"
+    assert "RELIABILITY.md" in index
+
+
+def test_top_level_readme_links_docs_index():
+    linked = {path for _, path in _relative_links(REPO / "README.md")}
+    assert "docs/README.md" in linked

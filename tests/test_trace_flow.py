@@ -59,7 +59,8 @@ def test_unmatched_send_gets_no_flow():
 
 def test_real_traffic_flows_are_balanced():
     """End to end: every flow start from live MPI traffic has exactly one
-    finish with the same id, and loopback sends contribute none."""
+    finish with the same id.  Loopback sends emit msg-deliver too (same
+    delivery accounting as remote frames), so their flows also pair up."""
     cluster = build_cluster(2)
     rec = TraceRecorder(cluster.sim, capacity=1 << 14)
     _cts, comm = build_comm(cluster)
