@@ -4,7 +4,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test test-slow lint bench-smoke profile-smoke chaos-smoke bench perf-baseline perf micro
+.PHONY: test test-slow lint bench-smoke bench-gate profile-smoke chaos-smoke bench perf-baseline perf micro
 
 test:            ## tier-1 suite
 	python -m pytest -q
@@ -18,6 +18,9 @@ lint:            ## ruff (config in pyproject.toml); no-op if not installed
 
 bench-smoke:     ## perf harness on the tiny basket (regression check)
 	python -m repro.bench.perf --smoke --repeat 1
+
+bench-gate:      ## accel basket vs checked-in baseline; fails on >5% virtual-time regression
+	python -m repro.bench.perf --gate
 
 profile-smoke:   ## virtual-time profiler invariant check on one workload
 	python -m repro.profile helmholtz --check

@@ -15,9 +15,18 @@ Usage::
 
     python -m repro.bench.perf --smoke      # tiny basket (CI regression run)
 
-The simulator is deterministic, so ``events`` and ``virtual_s`` are exact
-run invariants (the harness asserts this across repeats); only ``wall_s``
-carries host noise, which ``--repeat`` (best-of) suppresses.
+    python -m repro.bench.perf --accel      # basket with the protocol
+                                            # accelerator on -> 'accel'
+                                            # section + virtual-time deltas
+    python -m repro.bench.perf --gate       # bench gate: accel basket must
+                                            # stay within 5% aggregate
+                                            # virtual time of the checked-in
+                                            # 'accel' baseline (exit 1 if not)
+
+The simulator is deterministic, so ``events``, ``virtual_s``, ``msgs_sent``
+and ``bytes_sent`` are exact run invariants (the harness asserts this across
+repeats); only ``wall_s`` carries host noise, which ``--repeat`` (best-of)
+suppresses.
 
 See ``docs/PERFORMANCE.md`` for how to read the output file.
 """
@@ -105,7 +114,7 @@ def basket(smoke: bool = False) -> Dict[str, dict]:
     return _smoke_basket() if smoke else _full_basket()
 
 
-def phase_breakdown(spec: dict, n_nodes: int = 4) -> Dict[str, float]:
+def phase_breakdown(spec: dict, n_nodes: int = 4, accel: bool = False) -> Dict[str, float]:
     """Virtual-time phase-group fractions for one workload.
 
     Runs the workload once more with the :mod:`repro.profile` profiler
@@ -117,7 +126,9 @@ def phase_breakdown(spec: dict, n_nodes: int = 4) -> Dict[str, float]:
     from repro.profile import Profiler
     from repro.runtime import ParadeRuntime
 
-    rt = ParadeRuntime(n_nodes=n_nodes, pool_bytes=spec["pool_bytes"])
+    rt = ParadeRuntime(
+        n_nodes=n_nodes, pool_bytes=spec["pool_bytes"], protocol_accel=accel
+    )
     prof = Profiler(rt.sim, record_intervals=False)
     rt.run(spec["factory"]())
     prof.finalize()
@@ -125,21 +136,32 @@ def phase_breakdown(spec: dict, n_nodes: int = 4) -> Dict[str, float]:
 
 
 def measure_workload(
-    spec: dict, n_nodes: int = 4, repeat: int = 2, phases: bool = True
+    spec: dict,
+    n_nodes: int = 4,
+    repeat: int = 2,
+    phases: bool = True,
+    accel: bool = False,
 ) -> Dict[str, object]:
     """Run one workload *repeat* times; report best-of wall clock.
 
     Returns wall_s / virtual_s / events / events_per_s / faults /
-    faults_per_s, plus (unless ``phases=False``) a ``phases`` dict of
-    virtual-time group fractions from a separate, untimed profiled run.
-    Virtual results must be identical across repeats (the simulator is
-    deterministic) — a mismatch raises.
+    faults_per_s / msgs_sent / bytes_sent, plus (unless ``phases=False``)
+    a ``phases`` dict of virtual-time group fractions from a separate,
+    untimed profiled run.  ``msgs_sent``/``bytes_sent`` are the network
+    totals over the whole run (every frame funnels through
+    :meth:`~repro.cluster.network.Network.send`, so the protocol
+    accelerator's message-count savings show up here directly).  Virtual
+    results must be identical across repeats (the simulator is
+    deterministic) — a mismatch raises.  *accel* turns the protocol
+    accelerator on (``protocol_accel=True``).
     """
     from repro.runtime import ParadeRuntime
 
     best: Optional[Dict[str, object]] = None
     for _ in range(max(1, repeat)):
-        rt = ParadeRuntime(n_nodes=n_nodes, pool_bytes=spec["pool_bytes"])
+        rt = ParadeRuntime(
+            n_nodes=n_nodes, pool_bytes=spec["pool_bytes"], protocol_accel=accel
+        )
         t0 = time.perf_counter()
         res = rt.run(spec["factory"]())
         wall = time.perf_counter() - t0
@@ -147,6 +169,7 @@ def measure_workload(
         faults = res.dsm_stats.get("read_faults", 0) + res.dsm_stats.get(
             "write_faults", 0
         )
+        net = rt.cluster.network
         rec = {
             "wall_s": wall,
             "virtual_s": res.elapsed,
@@ -154,19 +177,25 @@ def measure_workload(
             "events_per_s": events / wall if wall > 0 else 0.0,
             "faults": faults,
             "faults_per_s": faults / wall if wall > 0 else 0.0,
+            "msgs_sent": net.total_messages,
+            "bytes_sent": net.total_bytes,
         }
         if best is not None and (
-            rec["events"] != best["events"] or rec["virtual_s"] != best["virtual_s"]
+            rec["events"] != best["events"]
+            or rec["virtual_s"] != best["virtual_s"]
+            or rec["msgs_sent"] != best["msgs_sent"]
+            or rec["bytes_sent"] != best["bytes_sent"]
         ):
             raise AssertionError(
                 f"non-deterministic run: {rec['events']} events / "
-                f"{rec['virtual_s']} s vs {best['events']} / {best['virtual_s']}"
+                f"{rec['virtual_s']} s / {rec['msgs_sent']} msgs vs "
+                f"{best['events']} / {best['virtual_s']} / {best['msgs_sent']}"
             )
         if best is None or rec["wall_s"] < best["wall_s"]:
             best = rec
     assert best is not None
     if phases:
-        best["phases"] = phase_breakdown(spec, n_nodes=n_nodes)
+        best["phases"] = phase_breakdown(spec, n_nodes=n_nodes, accel=accel)
     return best
 
 
@@ -176,6 +205,7 @@ def run_basket(
     repeat: int = 2,
     workloads: Optional[List[str]] = None,
     verbose: bool = True,
+    accel: bool = False,
 ) -> Dict[str, Dict[str, object]]:
     """Measure every workload of the basket; returns {name: metrics}."""
     bk = basket(smoke)
@@ -185,7 +215,7 @@ def run_basket(
         raise KeyError(f"unknown workload(s) {unknown}; choose from {sorted(bk)}")
     results: Dict[str, Dict[str, object]] = {}
     for name in names:
-        rec = measure_workload(bk[name], n_nodes=n_nodes, repeat=repeat)
+        rec = measure_workload(bk[name], n_nodes=n_nodes, repeat=repeat, accel=accel)
         results[name] = rec
         if verbose:
             ph = rec.get("phases") or {}
@@ -198,9 +228,44 @@ def run_basket(
                 f"  {name:<10} wall={rec['wall_s']:7.3f}s "
                 f"events={rec['events']:>8} "
                 f"ev/s={rec['events_per_s']:>11,.0f} "
+                f"msgs={rec['msgs_sent']:>6} "
                 f"faults/s={rec['faults_per_s']:>9,.0f}  {ph_str}"
             )
     return results
+
+
+def aggregate_virtual_s(results: Dict[str, Dict[str, object]]) -> float:
+    """Basket virtual time: sum of per-workload virtual seconds."""
+    return sum(float(r["virtual_s"]) for r in results.values())
+
+
+def accel_deltas(
+    baseline: Dict[str, Dict[str, object]], accel: Dict[str, Dict[str, object]]
+) -> Dict[str, object]:
+    """Protocol-accelerator effect: virtual-time / message / byte reduction
+    of the accel basket vs the flags-off baseline, per workload and for the
+    whole basket.  Fractions are reductions (0.19 = 19% less)."""
+    per: Dict[str, Dict[str, float]] = {}
+    for name, acc in accel.items():
+        base = baseline.get(name)
+        if not base:
+            continue
+        ent: Dict[str, float] = {}
+        if float(base["virtual_s"]) > 0:
+            ent["virtual_time_reduction"] = 1.0 - float(acc["virtual_s"]) / float(
+                base["virtual_s"]
+            )
+        for key, label in (("msgs_sent", "msgs_delta"), ("bytes_sent", "bytes_delta")):
+            if key in base and key in acc:
+                ent[label] = int(acc[key]) - int(base[key])
+        per[name] = ent
+    out: Dict[str, object] = {"per_workload": per}
+    base_vt = aggregate_virtual_s({k: v for k, v in baseline.items() if k in accel})
+    if base_vt > 0:
+        out["aggregate_virtual_time_reduction"] = (
+            1.0 - aggregate_virtual_s(accel) / base_vt
+        )
+    return out
 
 
 def aggregate_events_per_s(results: Dict[str, Dict[str, float]]) -> float:
@@ -230,6 +295,54 @@ def compute_speedup(
     return out
 
 
+#: bench-gate tolerance: the accel basket may regress aggregate virtual
+#: time by at most this fraction vs the checked-in 'accel' baseline
+GATE_TOLERANCE = 0.05
+
+
+def run_gate(path: str = DEFAULT_OUT, n_nodes: Optional[int] = None) -> int:
+    """Bench gate (``make bench-gate``): fail on virtual-time regression.
+
+    Runs the full basket with the protocol accelerator on and compares
+    aggregate virtual time against the checked-in ``accel`` section of
+    *path*.  Virtual time is deterministic, so one repeat suffices and
+    host noise cannot flake the gate: any delta is a real protocol
+    change.  Returns 0 if within :data:`GATE_TOLERANCE`, 1 otherwise.
+    """
+    report = load_report(path)
+    ref = report.get("accel", {}).get("results")
+    if not ref:
+        print(f"bench-gate: no 'accel' baseline in {path}; "
+              "run `python -m repro.bench.perf --accel` first")
+        return 1
+    nodes = n_nodes or int(report.get("nodes", 4))
+    bk = _full_basket()
+    cur: Dict[str, Dict[str, object]] = {}
+    for name in ref:
+        if name not in bk:
+            print(f"bench-gate: baseline workload {name!r} missing from basket")
+            return 1
+        cur[name] = measure_workload(
+            bk[name], n_nodes=nodes, repeat=1, phases=False, accel=True
+        )
+    base_vt = aggregate_virtual_s(ref)
+    cur_vt = aggregate_virtual_s(cur)
+    ratio = cur_vt / base_vt if base_vt > 0 else float("inf")
+    for name in ref:
+        b, c = float(ref[name]["virtual_s"]), float(cur[name]["virtual_s"])
+        mark = "" if c <= b * (1 + GATE_TOLERANCE) else "   <-- regressed"
+        print(f"  {name:<10} baseline={b * 1e3:9.3f} ms  current={c * 1e3:9.3f} ms"
+              f"  ({(c / b - 1) * 100:+6.2f}%){mark}")
+    print(f"  aggregate  baseline={base_vt * 1e3:9.3f} ms  "
+          f"current={cur_vt * 1e3:9.3f} ms  ({(ratio - 1) * 100:+6.2f}%)")
+    if ratio > 1 + GATE_TOLERANCE:
+        print(f"bench-gate: FAIL — aggregate virtual time regressed "
+              f"{(ratio - 1) * 100:.2f}% (> {GATE_TOLERANCE:.0%} tolerance)")
+        return 1
+    print(f"bench-gate: OK (within {GATE_TOLERANCE:.0%} of baseline)")
+    return 0
+
+
 def load_report(path: str) -> dict:
     if os.path.exists(path):
         with open(path) as fh:
@@ -255,6 +368,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     ap.add_argument(
         "--smoke", action="store_true", help="tiny basket; CI regression mode"
     )
+    ap.add_argument(
+        "--accel",
+        action="store_true",
+        help="run with the protocol accelerator on; record into the 'accel' "
+        "section and report virtual-time / message deltas vs the baseline",
+    )
+    ap.add_argument(
+        "--gate",
+        action="store_true",
+        help="bench gate: run the accel basket and exit 1 if aggregate "
+        "virtual time regressed more than 5%% vs the checked-in 'accel' "
+        "baseline (no report rewrite)",
+    )
     ap.add_argument("--out", default=None, help="output JSON path")
     ap.add_argument("--nodes", type=int, default=4, help="cluster size (default 4)")
     ap.add_argument(
@@ -268,12 +394,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = ap.parse_args(argv)
 
     out = args.out or (SMOKE_OUT if args.smoke else DEFAULT_OUT)
+    if args.gate:
+        return run_gate(out, n_nodes=args.nodes if args.nodes != 4 else None)
     names = args.workloads.split(",") if args.workloads else None
-    section = "baseline" if args.baseline else "current"
-    print(f"perf basket ({'smoke' if args.smoke else 'full'}) -> {out} [{section}]")
+    section = "accel" if args.accel else ("baseline" if args.baseline else "current")
+    print(f"perf basket ({'smoke' if args.smoke else 'full'}"
+          f"{', protocol accel' if args.accel else ''}) -> {out} [{section}]")
 
     results = run_basket(
-        smoke=args.smoke, n_nodes=args.nodes, repeat=args.repeat, workloads=names
+        smoke=args.smoke, n_nodes=args.nodes, repeat=args.repeat, workloads=names,
+        accel=args.accel,
     )
 
     report = load_report(out)
@@ -285,7 +415,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "results": results,
     }
-    if args.baseline:
+    if args.accel:
+        # protocol effect vs the flags-off run (prefer the freshest section)
+        ref = report.get("current") or report.get("baseline")
+        if ref:
+            report["accel_effect"] = accel_deltas(ref["results"], results)
+            agg = report["accel_effect"].get("aggregate_virtual_time_reduction")
+            if agg is not None:
+                print(f"  accelerator: {agg:.1%} less aggregate virtual time")
+    elif args.baseline:
         # a fresh baseline invalidates any previous comparison
         report.pop("current", None)
         report.pop("speedup", None)

@@ -78,6 +78,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also attach the happens-before sanitizer to every chaos run "
         "and require it to stay green",
     )
+    parser.add_argument(
+        "--accel", action="store_true",
+        help="run with the protocol accelerator on (batched notices, "
+        "lock-grant piggybacking, adaptive migration + update push, "
+        "fetch read-ahead) — fault-free baseline and chaos runs alike, "
+        "so recovery must stay bit-identical with every optimisation "
+        "message kind in flight",
+    )
     return parser
 
 
@@ -87,13 +95,14 @@ def _value_digest(value) -> str:
 
 
 def _run(entry: dict, nodes: int, mode: str, plan=None, seed: int = 0,
-         sanitize: bool = False):
+         sanitize: bool = False, accel: bool = False):
     from repro.runtime import ParadeRuntime
 
     rt = ParadeRuntime(
         n_nodes=nodes,
         mode=mode,
         pool_bytes=entry["pool_bytes"],
+        protocol_accel=accel,
         sanitize=True if sanitize else None,
         fault_plan=plan,
         chaos_seed=seed,
@@ -129,9 +138,9 @@ def _single(args, registry) -> int:
 
     entry = registry[args.app]
     plan = plan_by_name(args.plan)
-    base, _ = _run(entry, args.nodes, args.mode)
+    base, _ = _run(entry, args.nodes, args.mode, accel=args.accel)
     res, san = _run(entry, args.nodes, args.mode, plan=plan, seed=args.seed,
-                    sanitize=args.sanitize)
+                    sanitize=args.sanitize, accel=args.accel)
     label = f"{args.app}/{args.mode}/{args.nodes}n"
     print(f"{label}: fault-free {base.elapsed * 1e3:.3f} ms -> "
           f"under {plan.name!r} {res.elapsed * 1e3:.3f} ms (virtual)")
@@ -163,13 +172,14 @@ def _sweep(args, registry) -> int:
     ok = True
     for app in apps:
         entry = registry[app]
-        base, _ = _run(entry, args.nodes, args.mode)
+        base, _ = _run(entry, args.nodes, args.mode, accel=args.accel)
         digest = _value_digest(base.value)
         print(f"{app:<{width}}  fault-free: {base.elapsed * 1e3:9.3f} ms  "
               f"({base.cluster_stats['total_messages']} msgs)")
         for plan in plans:
             res, san = _run(entry, args.nodes, args.mode, plan=plan,
-                            seed=args.seed, sanitize=args.sanitize)
+                            seed=args.seed, sanitize=args.sanitize,
+                            accel=args.accel)
             failures = _check_run(res, san, digest, plan.reliability.max_retries)
             cs = res.chaos_stats
             lost = (cs.get("drops", 0) + cs.get("flap_drops", 0)

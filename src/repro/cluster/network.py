@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 
 @dataclass(slots=True)
@@ -46,6 +46,12 @@ class Network:
         # global statistics
         self.total_messages = 0
         self.total_bytes = 0
+        #: per-channel accounting keyed by ``tag[0]`` (the protocol layer:
+        #: "dsm", "lock", "barrier", "mpi", ...; ``None`` for untagged
+        #: frames) — ``{channel: [messages, bytes]}``.  Feeds the perf
+        #: harness's ``msgs_sent``/``bytes_sent`` columns and lets
+        #: ``repro.trace diff`` deltas be attributed to one protocol.
+        self.channel_stats: Dict[Any, List[int]] = {}
 
     def send(self, src: int, dst: int, nbytes: int, payload: Any, tag: Any = None):
         """Generator: transmit from the calling thread's context on *src*.
@@ -68,6 +74,12 @@ class Network:
         )
         self.total_messages += 1
         self.total_bytes += nbytes
+        chan = tag[0] if isinstance(tag, tuple) and tag else tag
+        cs = self.channel_stats.get(chan)
+        if cs is None:
+            cs = self.channel_stats[chan] = [0, 0]
+        cs[0] += 1
+        cs[1] += nbytes
         node.msgs_sent += 1
         node.bytes_sent += nbytes
         tr = self.sim.trace

@@ -23,7 +23,7 @@ protocol agent.
 from repro.dsm.states import PageState, VALID_TRANSITIONS, is_valid_transition
 from repro.dsm.diffs import make_twin, compute_diff, apply_diff, diff_nbytes
 from repro.dsm.writenotice import WriteNotice, NoticeLog
-from repro.dsm.config import DsmConfig, PARADE_DSM, KDSM_BASELINE
+from repro.dsm.config import DsmConfig, PARADE_DSM, PARADE_ACCEL, KDSM_BASELINE
 from repro.dsm.system import DsmSystem
 from repro.dsm.node import DsmNode
 from repro.dsm.sharedarray import SharedArray, SharedScalar
@@ -40,6 +40,7 @@ __all__ = [
     "NoticeLog",
     "DsmConfig",
     "PARADE_DSM",
+    "PARADE_ACCEL",
     "KDSM_BASELINE",
     "DsmSystem",
     "DsmNode",

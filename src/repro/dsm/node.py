@@ -39,7 +39,13 @@ from repro.vm import (
 )
 from repro.dsm.states import PageState, IllegalTransition, is_valid_transition
 from repro.dsm.diffs import make_twin, compute_diff, apply_diff, diff_nbytes
-from repro.dsm.writenotice import WriteNotice, NoticeLog, merge_notices
+from repro.dsm.writenotice import (
+    WriteNotice,
+    NoticeLog,
+    dedupe_notices,
+    merge_notices,
+    merge_notice_bytes,
+)
 from repro.profile.phases import (
     PH_BARRIER,
     PH_FAULT_FETCH,
@@ -52,6 +58,19 @@ from repro.profile.phases import (
 #: page kinds: HLRC-managed vs object-granularity (update protocol) regions
 KIND_HLRC = 0
 KIND_OBJECT = 1
+
+#: wire bytes per record header in a batched diff frame (page id + length)
+BATCH_ENTRY_BYTES = 8
+
+#: update push (adaptive migration): a home keeps pushing a page's fresh
+#: copy to a reader for this many barrier epochs after the reader's last
+#: real fetch.  A stable consumer re-fetches once per window and is pushed
+#: to in between (~1/(N+1) of its faults survive); a reader that stops
+#: consuming wastes at most this many pushed frames per page.
+PUSH_INTEREST_EPOCHS = 8
+
+#: wire bytes of a push frame header (page id + epoch stamp)
+PUSH_HEADER_BYTES = 12
 
 
 class DiffGapClobber(RuntimeError):
@@ -122,7 +141,31 @@ class DsmNodeStats:
     stale_replies         count   duplicate/late replies discarded         reliability ablations
                                   after a re-issue already resolved
                                   the request (``chaos/stale-reply``)
+    notices_batched       count   per-page diff records coalesced into     protocol-accelerator
+                                  batched ``dbat`` frames — messages        ablations
+                                  saved is this minus the frame count      (docs/PERFORMANCE.md)
+                                  (``dsm.page/diff-batch`` args
+                                  ``entries``)
+    diffs_piggybacked     count   diffs applied straight off lock grants   protocol-accelerator
+                                  instead of invalidate + fault + fetch    ablations
+                                  (``dsm.page/piggy-apply`` args
+                                  ``diffs``)
+    updates_pushed        count   fresh page copies pushed by this home    protocol-accelerator
+                                  to predicted re-fetchers after a         ablations
+                                  barrier departure (``dsm.page/push``)
+    updates_installed     count   pushed copies this node installed —      protocol-accelerator
+                                  faults it will never take; pushes        ablations
+                                  minus installs were dropped as stale
+                                  (``dsm.page/push-apply``)
+    readahead_pages       count   extra pages installed off bundled        protocol-accelerator
+                                  sequential-fetch replies — round-trips   ablations
+                                  a block scan or gather skipped
+                                  (``dsm.page/readahead-apply``)
     ====================  ======  =======================================  ==========================
+
+    ``RunResult.dsm_stats`` additionally carries the system-wide
+    ``home_migrations`` counter (eager sole-writer or adaptive
+    byte-weighted migrations, by :class:`~repro.dsm.config.DsmConfig`).
     """
 
     read_faults: int = 0
@@ -140,6 +183,11 @@ class DsmNodeStats:
     fetches_served: int = 0
     dsm_reissues: int = 0
     stale_replies: int = 0
+    notices_batched: int = 0
+    diffs_piggybacked: int = 0
+    updates_pushed: int = 0
+    updates_installed: int = 0
+    readahead_pages: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -226,6 +274,62 @@ class DsmNode:
         # (TRANSIENT/BLOCKED); drained by the fetching thread, which
         # discards the stale update and retries.
         self._pending_inval: Set[int] = set()
+
+        # protocol accelerator (docs/PERFORMANCE.md "Protocol
+        # optimizations").  Piggybacking needs exact diffs: coalesced
+        # diff_gap runs carry stale gap bytes that must not be replayed
+        # at third nodes, so the flag is inert while diff_gap > 0.
+        self._accel_piggyback = (
+            dsm_config.lock_piggyback
+            and dsm_config.diff_gap == 0
+            and not dsm_config.homeless
+        )
+        self._accel_adaptive = dsm_config.adaptive_migration and not dsm_config.homeless
+        #: wire bytes per notice record: sized notices carry diff byte counts
+        self._notice_nbytes = (
+            WriteNotice.NBYTES_SIZED if self._accel_adaptive else WriteNotice.NBYTES
+        )
+        # adaptive migration, master only: page -> {writer: EWMA diff bytes}
+        self._mig_hist: Dict[int, Dict[int, float]] = {}
+        # adaptive migration, new-home side: page -> event local threads
+        # wait on until the old home's copy arrives ...
+        self._pending_handoff: Dict[int, Event] = {}
+        # ... fetch requests parked meanwhile, page -> [(requester, req_id)]
+        self._handoff_waiters: Dict[int, List[tuple]] = {}
+        # ... and copies that arrived before this node processed the
+        # departure that announces the migration (possible under chaos
+        # delays), page -> raw page bytes
+        self._handoff_data: Dict[int, bytes] = {}
+        # update push, master side: page -> {reader: epoch of its last
+        # reported fetch}; predicts which nodes will re-fetch a page after
+        # a barrier invalidates it (fed by the arrival payloads)
+        self._push_interest: Dict[int, Dict[int, int]] = {}
+        # update push, reader side: pages this node remote-fetched since
+        # its last barrier arrival — reported to the master as interest
+        self._fetched_since_barrier: Set[int] = set()
+        # receiver side: page -> event a faulting thread parks on when an
+        # inbound one-way frame was promised for the page — a barrier
+        # departure announced an update push, or a fetch reply promised
+        # read-ahead trailers.  Waiting for the frame in flight beats
+        # issuing our own fetch round-trip; any install or lock-grant
+        # invalidation of the page wakes (and removes) the event.
+        self._expected_frames: Dict[int, Event] = {}
+        # ... frames that arrived before this node processed the departure
+        # that announced them, page -> (epoch, raw page bytes)
+        self._push_stash: Dict[int, tuple] = {}
+        # ... and the last barrier epoch whose departure this node has
+        # processed (separates the stash window from the install window)
+        self._departed_epoch = -1
+        # update push, receiver side: pages invalidated by lock-grant
+        # notices since the last barrier departure.  A push snapshotted at
+        # that departure is stale with respect to the lock writer's data,
+        # so it must not be installed (the lock's happens-before edge
+        # promised the newer bytes); cleared at every departure.
+        self._lock_invalidated: Set[int] = set()
+        # fetch read-ahead: the previously fetched page (the sequential-
+        # scan detector — a fault on the successor of the last fetched
+        # page asks the home to trail further contiguous pages)
+        self._last_fetched_page = -2
 
         self.stats = DsmNodeStats()
 
@@ -389,6 +493,39 @@ class DsmNode:
                         prof.pop()
             if st == PageState.DIRTY:
                 return  # already writable
+            if st == PageState.INVALID and page in self._expected_frames:
+                # The barrier departure announced an update push for this
+                # page: the home's one-way frame is already in flight, so
+                # waiting for it strictly beats issuing our own fetch
+                # round-trip.  If a lock-grant notice voids the push, the
+                # wake-up retries this loop and falls through to a fetch.
+                if is_write:
+                    self.stats.write_faults += 1
+                else:
+                    self.stats.read_faults += 1
+                t0 = self.sim.now
+                if prof is not None:
+                    prof.on_fault(page, is_write)
+                    prof.push(PH_FAULT_WORK)
+                try:
+                    yield from self.node.busy_cpu(self.cluster_config.fault_overhead)
+                finally:
+                    if prof is not None:
+                        prof.pop()
+                ev = self._expected_frames.get(page)
+                if ev is not None and not ev.triggered:
+                    if prof is None:
+                        yield ev
+                    else:
+                        prof.push(PH_PAGE_WAIT)
+                        try:
+                            yield ev
+                        finally:
+                            prof.pop()
+                if tr is not None:
+                    tr.span("dsm.page", "fault", t0, node=self.id,
+                            page=page, kind="push-wait")
+                continue
             if st == PageState.INVALID:
                 if is_write:
                     self.stats.write_faults += 1
@@ -539,33 +676,85 @@ class DsmNode:
         return value
 
     def _fetch_page(self, page: int):
-        """Request the up-to-date page from its home; returns page bytes."""
+        """Request the up-to-date page from its home; returns page bytes.
+
+        With ``fetch_readahead`` and a sequential fault pattern (previous
+        fault hit page - 1), the request also names up to *readahead*
+        further contiguous pages that are invalid here and share the same
+        home.  The home replies with the primary page alone — the fault's
+        round-trip latency is untouched — then trails one-way ``raP``
+        frames for the named pages it can serve; the comm thread installs
+        each sound arrival (:meth:`_receive_readahead`).  Best-effort: a
+        page that never arrives simply faults later.
+        """
         home = self.home[page]
         assert home != self.id, f"node {self.id} faulted on page {page} it homes"
+        ra = self.config.fetch_readahead
+        if ra > 0:
+            extras = ()
+            if page - 1 == self._last_fetched_page:
+                n_pages = len(self.state)
+                extras = tuple(
+                    q for q in range(page + 1, min(page + ra, n_pages))
+                    if self.home[q] == home
+                    and self.state[q] is PageState.INVALID
+                    and self.kind[q] != KIND_OBJECT
+                    # a parked thread waits on the announced push frame
+                    # for that page — installing a fetch copy would not
+                    # wake it, so leave announced pages to the push
+                    and q not in self._expected_frames
+                )
+            self._last_fetched_page = page
+            req_payload = (page, self.id, extras, self._barrier_epoch)
+            req_nb = 12 + 4 * len(extras)
+        else:
+            req_payload = (page, self.id)
+            req_nb = 8
         req_id = self._next_req()
         ev = self._pending_event(req_id)
         t0 = self.sim.now
 
         def send_req():
             yield from self.net.send(
-                self.id, home, 8, (page, self.id), tag=("dsm", "fetch", req_id)
+                self.id, home, req_nb, req_payload, tag=("dsm", "fetch", req_id)
             )
 
         prof = self.sim.prof
         if prof is None:
             yield from send_req()
-            data = yield from self._await_reply(ev, send_req)
+            reply = yield from self._await_reply(ev, send_req)
         else:
             # request round-trip: send + wait for the home's reply
             prof.push(PH_FAULT_FETCH)
             try:
                 yield from send_req()
-                data = yield from self._await_reply(ev, send_req)
+                reply = yield from self._await_reply(ev, send_req)
             finally:
                 prof.pop()
+        if ra > 0:
+            data, promised = reply
+            for q in promised:
+                # park follow-up faults on the promised trailer frames —
+                # registered only for still-INVALID pages (a sibling's
+                # in-flight fetch wins TRANSIENT pages, and its install
+                # path would not resolve the promise)
+                if (
+                    self.state[q] is PageState.INVALID
+                    and q not in self._expected_frames
+                ):
+                    self._expected_frames[q] = Event(
+                        self.sim, name=f"rawait[{self.id}:{q}]"
+                    )
+        else:
+            data = reply
+        if prof is not None:
             prof.on_fetch(page, len(data))
         self.stats.pages_fetched += 1
         self.stats.fetch_bytes += len(data)
+        if self._accel_adaptive:
+            # reported to the master at the next barrier arrival as
+            # update-push interest
+            self._fetched_since_barrier.add(page)
         tr = self.sim.trace
         if tr is not None:
             tr.span("dsm.page", "fetch", t0, node=self.id,
@@ -643,8 +832,12 @@ class DsmNode:
             self._resolve(req_id, msg.payload)
             return
         if kind == "fetch":
-            page, requester = msg.payload
-            yield from self._serve_fetch(page, requester, req_id)
+            if len(msg.payload) == 4:
+                page, requester, extras, ra_epoch = msg.payload
+            else:
+                page, requester = msg.payload
+                extras, ra_epoch = (), -1
+            yield from self._serve_fetch(page, requester, req_id, extras, ra_epoch)
         elif kind == "fetchR":
             self._resolve(req_id, msg.payload)
         elif kind == "diff":
@@ -653,16 +846,51 @@ class DsmNode:
             yield from self.net.send(self.id, msg.src, 4, None, tag=("dsm", "diffR", req_id))
         elif kind == "diffR":
             self._resolve(req_id, None)
+        elif kind == "dbat":
+            # batched release: apply every (page, diff) record, ack once.
+            # Rides the chaos ack/retransmit layer like "diff" — the frame
+            # is exactly-once at the link layer, so per-page application
+            # stays non-idempotent-safe.
+            for page, diff in msg.payload:
+                yield from self._apply_incoming_diff(page, diff, msg.src)
+            yield from self.net.send(self.id, msg.src, 4, None, tag=("dsm", "dbatR", req_id))
+        elif kind == "dbatR":
+            self._resolve(req_id, None)
+        elif kind == "hand":
+            # adaptive migration: the old home ships its current copy to
+            # the new home chosen at the barrier (fire-and-forget;
+            # exactly-once at the link layer)
+            yield from self._receive_handoff(msg.payload, msg.src)
+        elif kind == "push":
+            # update push: a home forwards the fresh copy of a page this
+            # node is predicted to re-fetch (fire-and-forget; dropped
+            # whenever installing would not be sound)
+            yield from self._receive_push(msg.payload, msg.src)
+        elif kind == "raP":
+            # sequential-fetch read-ahead: a home trails contiguous pages
+            # behind a fetch reply (fire-and-forget; dropped whenever
+            # installing would not be sound)
+            yield from self._receive_readahead(msg.payload, msg.src)
         else:  # pragma: no cover - protocol corruption guard
             raise RuntimeError(f"unknown dsm message kind {kind!r}")
 
-    def _serve_fetch(self, page: int, requester: int, req_id: int):
+    def _serve_fetch(self, page: int, requester: int, req_id: int,
+                     extras=(), ra_epoch: int = -1):
         if self.home[page] != self.id:
             # Stale home pointer (should not happen barrier-to-barrier, but
-            # forward for robustness; one extra hop).
+            # forward for robustness; one extra hop).  Read-ahead extras
+            # are dropped at the forward — best-effort by design.
             yield from self.net.send(
                 self.id, self.home[page], 8, (page, requester), tag=("dsm", "fetch", req_id)
             )
+            return
+        if page in self._pending_handoff:
+            # This page just migrated to us and the old home's copy is
+            # still in flight: park the request (the comm thread must not
+            # block), served in arrival order when the handoff lands.
+            waiters = self._handoff_waiters.setdefault(page, [])
+            if (requester, req_id) not in waiters:
+                waiters.append((requester, req_id))
             return
         st = self.state[page]
         assert st in (PageState.READ_ONLY, PageState.DIRTY), (
@@ -678,9 +906,77 @@ class DsmNode:
         if tr is not None:
             tr.instant("dsm.page", "serve-fetch", node=self.id,
                        page=page, requester=requester)
+        if self.config.fetch_readahead > 0:
+            # snapshot the requested read-ahead pages this home can serve
+            # right now (synchronously — same snapshot semantics as the
+            # primary page).  The reply carries the exact promise list so
+            # the requester can park follow-up faults on the trailing
+            # frames instead of re-fetching; the frames themselves go out
+            # from a detached sender so this comm thread stays responsive.
+            bundle = [
+                (q, self._page_view(q).tobytes())
+                for q in extras
+                if self.home[q] == self.id
+                and q not in self._pending_handoff
+                and self.state[q] in (PageState.READ_ONLY, PageState.DIRTY)
+            ]
+            if self.config.diff_gap > 0:
+                for q, _ in bundle:
+                    self._gap_fresh[(q, requester)] = self._apply_seq
+            promised = tuple(q for q, _ in bundle)
+            yield from self.net.send(
+                self.id, requester, len(data) + 4 * len(promised),
+                (data, promised), tag=("dsm", "fetchR", req_id),
+            )
+            if bundle:
+                self.sim.process(
+                    self._readahead_sender(bundle, requester, ra_epoch),
+                    label=f"ra[{self.id}->{requester}]",
+                )
+            return
         yield from self.net.send(
             self.id, requester, len(data), data, tag=("dsm", "fetchR", req_id)
         )
+
+    def _readahead_sender(self, bundle, requester: int, ra_epoch: int):
+        """Detached sender for read-ahead pages: one one-way ``raP``
+        frame per page, installed by the requester's comm thread when
+        still sound (:meth:`_receive_readahead`)."""
+        for q, qdata in bundle:
+            yield from self.net.send(
+                self.id, requester, self.page_size + PUSH_HEADER_BYTES,
+                (q, qdata, ra_epoch), tag=("dsm", "raP", self._next_req()),
+            )
+
+    def _receive_readahead(self, payload, src: int):
+        """Comm-thread handler for an incoming ``raP`` read-ahead frame.
+
+        Installs the copy only when doing so is indistinguishable from
+        the fetch the requester would otherwise issue: the requester is
+        still in the inter-barrier window it stamped on the request
+        (entering the next barrier bumps ``_barrier_epoch``, so frames
+        crossing a barrier are dropped before they can bypass its
+        invalidations), the page is still INVALID with an unchanged home,
+        and no lock-grant notice promised newer bytes this window.
+        Anything else: drop — the frame is an optimisation, the fault +
+        fetch path remains correct.  Installing resolves the promise
+        registered off the fetch reply, waking parked threads.
+        """
+        page, data, ra_epoch = payload
+        if (
+            self.kind[page] == KIND_OBJECT
+            or self._barrier_epoch != ra_epoch
+            or self.home[page] != src
+            or page in self._lock_invalidated
+            or self.state[page] is not PageState.INVALID
+        ):
+            return
+        self.stats.readahead_pages += 1
+        # keep the sequential-scan detector alive across trailer-served
+        # stretches: the next fault past the promised run re-triggers
+        # read-ahead instead of restarting the two-fault warm-up
+        self._last_fetched_page = page
+        yield from self._install_copy(page, data, "readahead-apply")
 
     def _apply_incoming_diff(self, page: int, diff, src: int):
         assert self.home[page] == self.id, (
@@ -727,21 +1023,214 @@ class DsmNode:
             runs.append((seq, src, off, off + len(data)))
 
     # ------------------------------------------------------------------
+    # adaptive home migration: page handoff (new-home side)
+    # ------------------------------------------------------------------
+    def _receive_handoff(self, payload, src: int):
+        """Comm-thread handler for an incoming ``hand`` frame.
+
+        Normally this node already processed the barrier departure that
+        announced the migration (it registered ``_pending_handoff``):
+        install the copy, wake local waiters, serve parked fetches.  Under
+        chaos delays the frame can overtake this node's departure — stash
+        the bytes; the departure path installs them inline.
+        """
+        page, data = payload
+        if page not in self._pending_handoff:
+            self._handoff_data[page] = data
+            return
+        yield from self._install_handoff(page, data)
+        self._pending_handoff.pop(page).succeed()
+        for requester, rid in self._handoff_waiters.pop(page, []):
+            yield from self._serve_fetch(page, requester, rid)
+
+    def _install_handoff(self, page: int, data):
+        """Install the old home's page copy on the new home, through the
+        legal Figure-5 chain (the page was invalidated at the departure)."""
+        yield from self._install_copy(page, data, "handoff-apply")
+
+    def _install_copy(self, page: int, data, label: str):
+        """Install a whole-page copy (migration handoff or update push)
+        on an INVALID page through the legal Figure-5 chain.
+
+        TRANSIENT is entered before the first yield so application
+        threads faulting concurrently (push installs run mid-window) see
+        the update in progress and park in BLOCKED instead of starting a
+        competing fetch; they are woken when the install completes, same
+        as the fetch path.
+        """
+        assert self.state[page] is PageState.INVALID, (
+            f"{label} for page {page} found state {self.state[page].name} on {self.id}"
+        )
+        self._set_state(page, PageState.TRANSIENT, "fault")
+        yield from self.node.busy_cpu(self.cluster_config.diff_apply_overhead)
+        yield from self.node.busy_cpu(self.cluster_config.mprotect_overhead)
+        self._page_view(page)[:] = np.frombuffer(data, dtype=np.uint8)
+        self._set_state(page, PageState.READ_ONLY, "update-done")
+        self.space.protect(page, PROT_READ)
+        if page in self._pending_inval:
+            # a write notice invalidated the page while the install was in
+            # its busy windows (lock-grant processing on a sibling thread):
+            # the copy is stale — drop it, woken waiters re-fault
+            self._pending_inval.discard(page)
+            self._invalidate(page)
+        waiter = self._page_waiters.pop(page, None)
+        if waiter is not None:
+            waiter.succeed()
+        # any install resolves an expected-frame promise for the page:
+        # parked threads wake and re-examine the (now usually READ_ONLY)
+        # state; on the stale-install path above they re-fault and fetch
+        ev = self._expected_frames.pop(page, None)
+        if ev is not None and not ev.triggered:
+            ev.succeed()
+        tr = self.sim.trace
+        if tr is not None:
+            tr.instant("dsm.page", label, node=self.id, page=page)
+
+    # ------------------------------------------------------------------
+    # update push (adaptive migration): home -> predicted re-fetchers
+    #
+    # The master turns reader interest (pages each node reported fetching
+    # in its arrival) into a push plan announced in every departure.
+    # Homes snapshot the announced pages and push one-way copies; a
+    # reader faulting on an announced page parks for the frame instead of
+    # issuing its own fetch — the steady-state invalidate/fault/fetch
+    # round-trip of producer-consumer pages becomes half a round-trip.
+    # ------------------------------------------------------------------
+    def _process_push_plan(self, push_plan, epoch: int):
+        """Receiver side, inside barrier processing after invalidations:
+        install frames that overtook our departure (stash) and register a
+        park event for every still-missing announced page, so faults wait
+        for the one-way push instead of fetching."""
+        for page in sorted(push_plan):
+            if self.id not in push_plan[page]:
+                continue
+            stash = self._push_stash.pop(page, None)
+            if self.state[page] is not PageState.INVALID:
+                continue
+            if stash is not None:
+                self.stats.updates_installed += 1
+                # consuming a push renews interest: without this, a page
+                # served by pushes alone would fall out of the master's
+                # interest window and cost one fetch every window
+                self._fetched_since_barrier.add(page)
+                yield from self._install_copy(page, stash[1], "push-apply")
+                continue
+            self._expected_frames[page] = Event(
+                self.sim, name=f"pushwait[{self.id}:{page}]"
+            )
+
+    def _push_updates(self, push_plan, epoch: int, *,
+                      awaiting_handoff: bool, new_homes) -> None:
+        """Home side, during barrier processing: snapshot every announced
+        page homed here and hand the copies to a detached sender process.
+
+        Called twice per departure: first (``awaiting_handoff=False``)
+        for pages whose home did not change — frames go on the wire
+        before the handoff wait, minimising parked readers' stall — then
+        (``awaiting_handoff=True``) for pages just migrated here, whose
+        copy only exists once the old home's handoff installed.
+
+        The snapshot is taken synchronously (no virtual time passes), so
+        the pushed bytes are exactly what a fetch at departure time would
+        return — application writes of the next interval can never leak
+        into the frame.  Transmission happens off the barrier critical
+        path.  Every announced (page, reader) pair IS pushed — readers
+        may be parked on the frame — and the chaos link layer delivers
+        exactly-once, so parked faults never strand.
+        """
+        pushes = []
+        for page in sorted(push_plan):
+            if self.home[page] != self.id:
+                continue
+            if (new_homes.get(page) == self.id) != awaiting_handoff:
+                continue
+            assert self.state[page] in (PageState.READ_ONLY, PageState.DIRTY), (
+                f"push of page {page} from home {self.id} in state "
+                f"{self.state[page].name}"
+            )
+            data = self._page_view(page).tobytes()
+            for r in push_plan[page]:
+                if r != self.id:
+                    pushes.append((page, r, data))
+        if pushes:
+            self.sim.process(
+                self._push_sender(pushes, epoch),
+                label=f"push[{self.id}:{epoch}]",
+            )
+
+    def _push_sender(self, pushes, epoch: int):
+        """Detached sender: one ``push`` frame per (page, reader) —
+        exactly-once at the link layer, dropped by the receiver whenever
+        installing it would not be sound."""
+        tr = self.sim.trace
+        for page, dst, data in pushes:
+            self.stats.updates_pushed += 1
+            if tr is not None:
+                tr.instant("dsm.page", "push", node=self.id,
+                           page=page, dst=dst, epoch=epoch)
+            yield from self.net.send(
+                self.id, dst, self.page_size + PUSH_HEADER_BYTES,
+                (page, epoch, data), tag=("dsm", "push", self._next_req()),
+            )
+
+    def _receive_push(self, payload, src: int):
+        """Comm-thread handler for an incoming ``push`` frame.
+
+        Installs the copy only when doing so is indistinguishable from a
+        completed fetch issued right now: the receiver is in the
+        inter-barrier window the frame was produced for (epoch check —
+        both sides completed barrier *epoch*, next one not yet entered),
+        its departure already ran (else the frame overtook it: stash, the
+        departure path installs it), the page is INVALID, and no
+        lock-grant notice invalidated the page this window (the lock's
+        happens-before edge promised bytes newer than the departure-time
+        snapshot).  Anything else: drop — the frame is an optimisation, a
+        fault + fetch always remains correct.  Threads parked on the
+        announced frame are woken after the install.
+        """
+        page, epoch, data = payload
+        if self.kind[page] == KIND_OBJECT or self._barrier_epoch != epoch + 1:
+            return
+        if self._departed_epoch < epoch:
+            self._push_stash[page] = (epoch, data)
+            return
+        if (
+            self.home[page] != src
+            or page in self._lock_invalidated
+            or self.state[page] is not PageState.INVALID
+        ):
+            return
+        self.stats.updates_installed += 1
+        self._fetched_since_barrier.add(page)  # consuming renews interest
+        yield from self._install_copy(page, data, "push-apply")
+
+    # ------------------------------------------------------------------
     # flush: ship diffs of dirty pages to their homes (release operation)
     # ------------------------------------------------------------------
-    def _flush_dirty(self, epoch: Optional[int] = None):
+    def _flush_dirty(self, epoch: Optional[int] = None, collect: Optional[dict] = None):
         """Send diffs for all dirty non-home pages; returns write notices
         for every dirty page.  Diff sends are pipelined, then acks awaited.
 
         Homeless mode (*epoch* given): diffs are retained locally, keyed by
-        the barrier epoch, for later pulling by faulting nodes."""
+        the barrier epoch, for later pulling by faulting nodes.
+
+        With ``batch_notices`` every diff within ``batch_max_bytes`` bound
+        for the same home travels in one ``("dsm", "dbat")`` frame per
+        peer with a single ack (larger diffs keep their own pipelined
+        ``diff`` frame — see the config field's rationale); the
+        per-page ``diffs_sent``/``diff_bytes`` accounting is unchanged so
+        runs stay comparable across the flag.  *collect*, if given,
+        receives ``{page: diff}`` for diffs within the piggyback budget —
+        the lock-release path forwards them to the lock manager.  With
+        ``adaptive_migration`` the returned notices are sized: they carry
+        the diff byte count, the home writer credited one full page."""
         self._interval += 1
         tr = self.sim.trace
         t0 = self.sim.now
         n_dirty = len(self.dirty)
         diffs_before = self.stats.diffs_sent
         bytes_before = self.stats.diff_bytes
-        notices = [WriteNotice(p, self.id, self._interval) for p in sorted(self.dirty)]
+        pages = sorted(self.dirty)
         prof = self.sim.prof
         if prof is not None:
             # release-time twin/diff work: diff CPU bursts inherit this
@@ -750,7 +1239,7 @@ class DsmNode:
         try:
             if self.config.homeless:
                 assert epoch is not None, "homeless flush requires a barrier epoch"
-                for p in sorted(self.dirty):
+                for p in pages:
                     twin = self.twins.get(p)
                     assert twin is not None, f"dirty page {p} has no twin on {self.id}"
                     yield from self.node.busy_cpu(self.cluster_config.diff_overhead)
@@ -760,25 +1249,44 @@ class DsmNode:
                         prof.on_diff(p, diff_nbytes(diff))
                 if tr is not None and n_dirty:
                     tr.span("dsm.page", "flush", t0, node=self.id, dirty=n_dirty, retained=True)
-                return notices
+                return [WriteNotice(p, self.id, self._interval) for p in pages]
             acks = []
-            for p in sorted(self.dirty):
+            batch = self.config.batch_notices
+            by_home: Dict[int, List[tuple]] = {}
+            sizes: Dict[int, int] = {}
+            for p in pages:
                 if self.home[p] == self.id:
                     continue
                 twin = self.twins.get(p)
                 assert twin is not None, f"dirty non-home page {p} has no twin on {self.id}"
                 yield from self.node.busy_cpu(self.cluster_config.diff_overhead)
                 diff = compute_diff(twin, self._page_view(p), self.config.diff_gap)
+                nb = diff_nbytes(diff)
+                sizes[p] = nb
                 if not diff:
                     continue
-                req_id = self._next_req()
-                acks.append(self._pending_event(req_id))
+                if collect is not None and nb <= self.config.piggyback_max_bytes:
+                    collect[p] = diff
                 self.stats.diffs_sent += 1
-                nb = diff_nbytes(diff)
                 self.stats.diff_bytes += nb
                 if prof is not None:
                     prof.on_diff(p, nb)
-                yield from self.net.send(self.id, self.home[p], nb, (p, diff), tag=("dsm", "diff", req_id))
+                if batch and nb <= self.config.batch_max_bytes:
+                    by_home.setdefault(self.home[p], []).append((p, diff))
+                else:
+                    req_id = self._next_req()
+                    acks.append(self._pending_event(req_id))
+                    yield from self.net.send(self.id, self.home[p], nb, (p, diff), tag=("dsm", "diff", req_id))
+            for dst in sorted(by_home):
+                entries = by_home[dst]
+                req_id = self._next_req()
+                acks.append(self._pending_event(req_id))
+                nb = sum(diff_nbytes(d) for _, d in entries) + BATCH_ENTRY_BYTES * len(entries)
+                self.stats.notices_batched += len(entries)
+                if tr is not None:
+                    tr.instant("dsm.page", "diff-batch", node=self.id,
+                               dst=dst, entries=len(entries), nbytes=nb)
+                yield from self.net.send(self.id, dst, nb, entries, tag=("dsm", "dbat", req_id))
             for ev in acks:
                 yield ev
             if tr is not None and n_dirty:
@@ -787,7 +1295,14 @@ class DsmNode:
                     diffs=self.stats.diffs_sent - diffs_before,
                     nbytes=self.stats.diff_bytes - bytes_before,
                 )
-            return notices
+            if self._accel_adaptive:
+                # sized notices; the home writer never diffs — credit a
+                # full page as the documented incumbent proxy
+                return [
+                    WriteNotice(p, self.id, self._interval, sizes.get(p, self.page_size))
+                    for p in pages
+                ]
+            return [WriteNotice(p, self.id, self._interval) for p in pages]
         finally:
             if prof is not None:
                 prof.pop()
@@ -853,19 +1368,21 @@ class DsmNode:
         flushed = yield from self._flush_dirty(epoch=epoch)
         self._close_interval()
         # include notices from lock intervals since the last barrier
-        seen = set()
-        notices = []
-        for wn in self._notices_since_barrier + flushed:
-            key = (wn.page, wn.writer)
-            if key not in seen:
-                seen.add(key)
-                notices.append(wn)
+        notices = dedupe_notices(self._notices_since_barrier + flushed)
         self._notices_since_barrier = []
 
         wait = Event(self.sim, name=f"bardep[{self.id}:{epoch}]")
         self._bar_wait[epoch] = wait
-        payload = (self.id, notices)
-        nb = 16 + WriteNotice.NBYTES * len(notices)
+        nb = 16 + self._notice_nbytes * len(notices)
+        if self._accel_adaptive:
+            # report update-push interest: pages we remote-fetched this
+            # window (4 B per page id on the wire)
+            fetched = sorted(self._fetched_since_barrier)
+            self._fetched_since_barrier.clear()
+            payload = (self.id, notices, fetched)
+            nb += 4 * len(fetched)
+        else:
+            payload = (self.id, notices)
         if tr is not None:
             tr.instant("dsm.barrier", "arrive", node=self.id,
                        epoch=epoch, notices=len(notices))
@@ -873,7 +1390,11 @@ class DsmNode:
         if san is not None:
             san.on_barrier_arrive(self.id, epoch)
         yield from self.net.send(self.id, self.master_id, nb, payload, tag=("bar", "arr", epoch))
-        inval_writers, new_homes = yield wait
+        departure = yield wait
+        if len(departure) == 3:
+            inval_writers, new_homes, push_plan = departure
+        else:
+            (inval_writers, new_homes), push_plan = departure, {}
         if san is not None:
             san.on_barrier_depart(self.id, epoch)
         if self._gap_runs:
@@ -881,6 +1402,9 @@ class DsmNode:
             # interval start a fresh single-writer window
             self._gap_runs.clear()
             self._gap_fresh.clear()
+        # push staleness guard: lock invalidations of the closed window
+        # no longer block installs (stale pushes now fail the epoch check)
+        self._lock_invalidated.clear()
         if tr is not None:
             tr.span("dsm.barrier", "barrier", bar_t0, node=self.id,
                     epoch=epoch, notices=len(notices))
@@ -896,6 +1420,22 @@ class DsmNode:
                 self._emit_census(tr, epoch)
             return
 
+        # adaptive migration: before invalidating, an old home whose page
+        # migrates to a non-sole writer must ship its (current) copy —
+        # the new home's own copy lacks the other writers' diffs
+        if self._accel_adaptive:
+            for page, new_home in new_homes.items():
+                if self.home[page] != self.id or new_home == self.id:
+                    continue
+                if inval_writers.get(page, set()) - {new_home}:
+                    data = self._page_view(page).tobytes()
+                    if tr is not None:
+                        tr.instant("dsm.page", "handoff", node=self.id,
+                                   page=page, dst=new_home, epoch=epoch)
+                    yield from self.net.send(
+                        self.id, new_home, self.page_size + 8, (page, data),
+                        tag=("dsm", "hand", self._next_req()),
+                    )
         # apply invalidations and the new home directory
         for page, writers in inval_writers.items():
             new_home = new_homes.get(page, self.home[page])
@@ -904,8 +1444,72 @@ class DsmNode:
                 self._invalidate(page)
         for page, new_home in new_homes.items():
             self.home[page] = new_home
+        if self._accel_adaptive:
+            # from here on, incoming push frames for this epoch install
+            # directly instead of being stashed (no yields have happened
+            # since the invalidation loop, so no frame can slip between)
+            self._departed_epoch = epoch
+            self._expected_frames.clear()
+            self._push_stash = {
+                p: v for p, v in self._push_stash.items() if v[0] == epoch
+            }
+            # pages already homed here push immediately — parked readers
+            # are waiting on these frames, so every tick of delay counts;
+            # pages migrating *to* this node can only push once the old
+            # home's handoff is installed
+            self._push_updates(push_plan, epoch, awaiting_handoff=False,
+                               new_homes=new_homes)
+            yield from self._await_handoffs(inval_writers, new_homes)
+            yield from self._process_push_plan(push_plan, epoch)
+            self._push_updates(push_plan, epoch, awaiting_handoff=True,
+                               new_homes=new_homes)
         if tr is not None:
             self._emit_census(tr, epoch)
+
+    def _await_handoffs(self, inval_writers, new_homes):
+        """New-home side of adaptive migration: invalidate the stale local
+        copy and block (still inside the barrier) until the old home's
+        handoff arrives, so the barrier never returns with a home page
+        that cannot serve fetches."""
+        # pass 1, no yields: invalidate and register every migrated-to-us
+        # page before any suspension, so a fetch arriving mid-install of
+        # one page cannot be served a stale copy of another
+        pending = []
+        for page, new_home in new_homes.items():
+            if new_home != self.id:
+                continue
+            if not (inval_writers.get(page, set()) - {self.id}):
+                continue  # sole writer: local copy already current
+            self._invalidate(page)
+            self._pending_handoff[page] = Event(
+                self.sim, name=f"handoff[{self.id}:{page}]"
+            )
+            pending.append(page)
+        if not pending:
+            return
+        waits = []
+        for page in pending:
+            data = self._handoff_data.pop(page, None)
+            if data is None:
+                waits.append(self._pending_handoff[page])
+                continue
+            # the hand frame overtook our departure; install inline
+            yield from self._install_handoff(page, data)
+            self._pending_handoff.pop(page).succeed()
+            for requester, rid in self._handoff_waiters.pop(page, []):
+                yield from self._serve_fetch(page, requester, rid)
+        if not waits:
+            return
+        prof = self.sim.prof
+        if prof is not None:
+            # a new wait point: phase it like any other page-update wait
+            prof.push(PH_PAGE_WAIT)
+        try:
+            for ev in waits:
+                yield ev
+        finally:
+            if prof is not None:
+                prof.pop()
 
     def _emit_census(self, tr, epoch: int) -> None:
         """Counter sample of this node's page-state census (post-barrier).
@@ -924,7 +1528,12 @@ class DsmNode:
         _chan, kind, epoch = msg.tag
         if kind == "arr":
             assert self.id == self.master_id
-            node, notices = msg.payload
+            if len(msg.payload) == 3:
+                node, notices, fetched = msg.payload
+                for p in fetched:
+                    self._push_interest.setdefault(p, {})[node] = epoch
+            else:
+                node, notices = msg.payload
             arrivals = self._bar_arrivals.setdefault(epoch, {})
             arrivals[node] = notices
             if len(arrivals) == self.system.cluster.n_nodes:
@@ -943,7 +1552,29 @@ class DsmNode:
         writers_by_page = merge_notices(arrivals)
         tr = self.sim.trace
         new_homes: Dict[int, int] = {}
-        if self.config.home_migration:
+        if self._accel_adaptive:
+            self._update_migration_history(arrivals)
+            for page, writers in writers_by_page.items():
+                old_home = self.home[page]
+                hist = self._mig_hist.get(page)
+                if not hist:
+                    continue
+                total = sum(hist.values())
+                best_writer, best = max(
+                    hist.items(), key=lambda kv: (kv[1], -kv[0])
+                )
+                if (
+                    best_writer != old_home
+                    and total > 0
+                    and best > self.config.migration_share * total
+                ):
+                    new_homes[page] = best_writer
+                    self.system.stats_home_migrations += 1
+                    if tr is not None:
+                        tr.instant("dsm.page", "home-migrate", node=self.id,
+                                   page=page, src=old_home, dst=best_writer,
+                                   epoch=epoch, adaptive=True)
+        elif self.config.home_migration:
             for page, writers in writers_by_page.items():
                 old_home = self.home[page]
                 if len(writers) == 1:
@@ -955,15 +1586,71 @@ class DsmNode:
                             tr.instant("dsm.page", "home-migrate", node=self.id,
                                        page=page, src=old_home, dst=sole, epoch=epoch)
                 # multiple writers: current home keeps highest priority (§5.2.2)
-        if tr is not None:
-            tr.instant("dsm.barrier", "release", node=self.id, epoch=epoch,
-                       pages=len(writers_by_page), migrations=len(new_homes))
-        payload = (writers_by_page, new_homes)
-        nb = 16 + 16 * len(writers_by_page) + 8 * len(new_homes)
+        if self._accel_adaptive:
+            # Push plan: for every written page, the readers that fetched
+            # it recently and are about to be invalidated get a one-way
+            # copy from the (possibly new) home right after departure.
+            push_plan: Dict[int, tuple] = {}
+            for page, writers in sorted(writers_by_page.items()):
+                if self.kind[page] == KIND_OBJECT:
+                    continue
+                interest = self._push_interest.get(page)
+                if not interest:
+                    continue
+                stale = [r for r, last in interest.items()
+                         if epoch - last > PUSH_INTEREST_EPOCHS]
+                for r in stale:
+                    del interest[r]
+                if not interest:
+                    del self._push_interest[page]
+                    continue
+                final_home = new_homes.get(page, self.home[page])
+                readers = tuple(
+                    r for r in sorted(interest)
+                    if r != final_home and (writers - {r})
+                )
+                if readers:
+                    push_plan[page] = readers
+            if tr is not None:
+                tr.instant("dsm.barrier", "release", node=self.id, epoch=epoch,
+                           pages=len(writers_by_page), migrations=len(new_homes),
+                           pushes=len(push_plan))
+            payload = (writers_by_page, new_homes, push_plan)
+            nb = (16 + 16 * len(writers_by_page) + 8 * len(new_homes)
+                  + 8 * sum(len(v) for v in push_plan.values()))
+        else:
+            if tr is not None:
+                tr.instant("dsm.barrier", "release", node=self.id, epoch=epoch,
+                           pages=len(writers_by_page), migrations=len(new_homes))
+            payload = (writers_by_page, new_homes)
+            nb = 16 + 16 * len(writers_by_page) + 8 * len(new_homes)
         # small CPU cost for the merge itself
         yield from self.node.busy_cpu(1e-6 + 0.2e-6 * len(writers_by_page))
         for dst in range(self.system.cluster.n_nodes):
             yield from self.net.send(self.id, dst, nb, payload, tag=("bar", "dep", epoch))
+
+    def _update_migration_history(self, arrivals) -> None:
+        """Fold this epoch's sized notices into the per-page writer EWMA
+        (halved every epoch; entries fading below one byte are dropped so
+        the table tracks the working set, not the whole pool)."""
+        hist = self._mig_hist
+        dead = []
+        for page, by_writer in hist.items():
+            gone = []
+            for w in by_writer:
+                by_writer[w] *= 0.5
+                if by_writer[w] < 1.0:
+                    gone.append(w)
+            for w in gone:
+                del by_writer[w]
+            if not by_writer:
+                dead.append(page)
+        for page in dead:
+            del hist[page]
+        for page, by_writer in merge_notice_bytes(arrivals).items():
+            cur = hist.setdefault(page, {})
+            for w, nb in by_writer.items():
+                cur[w] = cur.get(w, 0.0) + float(nb)
 
     # ------------------------------------------------------------------
     # distributed locks (LRC piggybacking; KDSM-style optional busy-wait)
@@ -998,10 +1685,14 @@ class DsmNode:
                 # KDSM busy-wait client: burn CPU slices until granted (§6.1).
                 while not ev.triggered:
                     yield from self.node.busy_cpu(self.config.spin_slice)
-            notices = yield ev
+            granted = yield ev
         finally:
             if prof is not None:
                 prof.pop()
+        if self._accel_piggyback:
+            notices, piggy = granted
+        else:
+            notices, piggy = granted, None
         if prof is not None:
             prof.on_lock_acquired(
                 lock_id, self.sim.now - t0, remote=manager != self.id
@@ -1010,40 +1701,101 @@ class DsmNode:
         if san is not None:
             san.on_lock_acquire(("dsm-lock", lock_id))
         inval_before = self.stats.invalidations
+        piggy_before = self.stats.diffs_piggybacked
+        done: Set[int] = set()
         for wn in notices:
-            if wn.writer != self.id and self.home[wn.page] != self.id:
-                self._invalidate(wn.page)
+            if wn.writer == self.id or self.home[wn.page] == self.id:
+                continue
+            page = wn.page
+            if page in done:
+                continue
+            done.add(page)
+            chain = piggy.get(page) if piggy else None
+            if chain and self.state[page] is PageState.READ_ONLY:
+                # the grant shipped the complete diff chain for this page:
+                # patch the valid copy in place — no invalidate, no fault,
+                # no fetch round-trip inside the critical section
+                yield from self._apply_piggyback(page, chain)
+            else:
+                self._invalidate(page)
+                # a barrier-departure update push snapshotted before this
+                # lock's release must not resurrect the page this window;
+                # threads parked on that push must wake and fetch instead
+                self._lock_invalidated.add(page)
+                pev = self._expected_frames.pop(page, None)
+                if pev is not None and not pev.triggered:
+                    pev.succeed()
         if tr is not None:
-            tr.span(
-                "dsm.lock", "acquire", t0, node=self.id, lock=lock_id,
-                manager=manager, remote=manager != self.id,
-                notices=len(notices),
-                invalidated=self.stats.invalidations - inval_before,
-            )
+            if piggy is None:
+                tr.span(
+                    "dsm.lock", "acquire", t0, node=self.id, lock=lock_id,
+                    manager=manager, remote=manager != self.id,
+                    notices=len(notices),
+                    invalidated=self.stats.invalidations - inval_before,
+                )
+            else:
+                tr.span(
+                    "dsm.lock", "acquire", t0, node=self.id, lock=lock_id,
+                    manager=manager, remote=manager != self.id,
+                    notices=len(notices),
+                    invalidated=self.stats.invalidations - inval_before,
+                    piggybacked=self.stats.diffs_piggybacked - piggy_before,
+                )
+
+    def _apply_piggyback(self, page: int, chain):
+        """Apply a grant-piggybacked diff chain to a valid READ_ONLY copy
+        (log order = lock order, so the final bytes match the home)."""
+        prof = self.sim.prof
+        if prof is not None:
+            prof.push(PH_FAULT_WORK)
+        try:
+            view = self._page_view(page)
+            for diff in chain:
+                yield from self.node.busy_cpu(self.cluster_config.diff_apply_overhead)
+                apply_diff(view, diff)
+        finally:
+            if prof is not None:
+                prof.pop()
+        self.stats.diffs_piggybacked += len(chain)
+        tr = self.sim.trace
+        if tr is not None:
+            tr.instant("dsm.page", "piggy-apply", node=self.id,
+                       page=page, diffs=len(chain))
 
     def lock_release(self, lock_id: int):
-        """Flush modifications, hand write notices to the manager."""
+        """Flush modifications, hand write notices to the manager.
+
+        With ``lock_piggyback`` the small diffs of this critical section
+        ride along: the manager stores them next to the notice log and
+        ships complete per-page chains with later grants, so predicted
+        acquirers patch their copies instead of faulting."""
         manager = self.lock_manager_of(lock_id)
         tr = self.sim.trace
         t0 = self.sim.now
         san = self.sim.san
         if san is not None:
             san.on_lock_release(("dsm-lock", lock_id))
-        notices = yield from self._flush_dirty()
+        piggy: Optional[Dict[int, list]] = {} if self._accel_piggyback else None
+        notices = yield from self._flush_dirty(collect=piggy)
         self._close_interval()
         self._notices_since_barrier.extend(notices)
-        nb = 16 + WriteNotice.NBYTES * len(notices)
+        nb = 16 + self._notice_nbytes * len(notices)
+        if piggy is None:
+            payload = (lock_id, notices)
+        else:
+            payload = (lock_id, notices, piggy)
+            nb += sum(diff_nbytes(d) for d in piggy.values()) + 8 * len(piggy)
         prof = self.sim.prof
         if prof is None:
             yield from self.net.send(
-                self.id, manager, nb, (lock_id, notices), tag=("lk", "rel", self._next_req())
+                self.id, manager, nb, payload, tag=("lk", "rel", self._next_req())
             )
         else:
             # the notice hand-off is part of the release (flush) cost
             prof.push(PH_FLUSH)
             try:
                 yield from self.net.send(
-                    self.id, manager, nb, (lock_id, notices), tag=("lk", "rel", self._next_req())
+                    self.id, manager, nb, payload, tag=("lk", "rel", self._next_req())
                 )
             finally:
                 prof.pop()
@@ -1065,9 +1817,12 @@ class DsmNode:
                 self._lock_queue.setdefault(lock_id, []).append((requester, req_id))
             return
         if kind == "rel":
-            lock_id, notices = msg.payload
+            if len(msg.payload) == 3:  # piggyback mode: diffs ride along
+                lock_id, notices, diffs = msg.payload
+            else:
+                (lock_id, notices), diffs = msg.payload, None
             log = self._lock_log.setdefault(lock_id, NoticeLog())
-            log.append(notices)
+            log.append(notices, diffs)
             queue = self._lock_queue.get(lock_id, [])
             if queue:
                 requester, rid = queue.pop(0)
@@ -1096,13 +1851,59 @@ class DsmNode:
         # first-time consumer otherwise pays for the lock's entire history
         # of its own writes.
         notices = [wn for wn in pending if wn.writer != requester]
+        piggy = None
+        if self._accel_piggyback:
+            piggy = self._build_piggyback(log, requester, start, pending)
         tr = self.sim.trace
         if tr is not None:
-            tr.instant("dsm.lock", "grant", node=self.id, lock=lock_id,
-                       requester=requester, notices=len(notices))
+            if piggy is None:
+                tr.instant("dsm.lock", "grant", node=self.id, lock=lock_id,
+                           requester=requester, notices=len(notices))
+            else:
+                tr.instant("dsm.lock", "grant", node=self.id, lock=lock_id,
+                           requester=requester, notices=len(notices),
+                           piggy=len(piggy))
         san = self.sim.san
         if san is not None:
             san.on_lock_grant(self.id, lock_id, requester,
                               start, log.cursor_of(requester), len(log))
-        nb = 16 + WriteNotice.NBYTES * len(notices)
-        yield from self.net.send(self.id, requester, nb, notices, tag=("lk", "gr", req_id))
+            if piggy:
+                san.on_lock_piggyback(
+                    self.id, lock_id, requester,
+                    set(piggy), {wn.page for wn in notices},
+                )
+        nb = 16 + self._notice_nbytes * len(notices)
+        if piggy is None:
+            payload = notices
+        else:
+            payload = (notices, piggy)
+            nb += sum(
+                diff_nbytes(d) for chain in piggy.values() for d in chain
+            ) + 8 * len(piggy)
+        yield from self.net.send(self.id, requester, nb, payload, tag=("lk", "gr", req_id))
+
+    def _build_piggyback(self, log: NoticeLog, requester: int, start: int, pending):
+        """Per-page diff chains to attach to a grant.
+
+        Prediction is last-acquirer history: pages *requester* itself
+        released notices for under this lock (migratory data — the same
+        pages get rewritten every critical section).  A page ships only if
+        **every** unseen notice by another writer has its diff stored (an
+        incomplete chain cannot reconstruct the home copy) — chains are in
+        log order, so replaying one on a valid READ_ONLY copy lands on the
+        home's exact bytes even when a prefix was already incorporated.
+        """
+        predicted = log.history_of(requester)
+        if not predicted:
+            return {}
+        broken: Set[int] = set()
+        chains: Dict[int, List[list]] = {}
+        for i, wn in enumerate(pending):
+            if wn.writer == requester or wn.page not in predicted:
+                continue
+            diff = log.diff_at(start + i)
+            if diff is None:
+                broken.add(wn.page)
+            else:
+                chains.setdefault(wn.page, []).append(diff)
+        return {p: c for p, c in chains.items() if p not in broken}

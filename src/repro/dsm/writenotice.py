@@ -5,12 +5,19 @@ synchronisation point the consumer invalidates its copy of every noticed
 page it is not the home of.  ParADE aggregates notices at the barrier
 master and piggybacks them on barrier messages (§5.2.2); the lock manager
 hands them out with lock grants (lazy release consistency).
+
+The protocol accelerator (docs/PERFORMANCE.md "Protocol optimizations")
+extends both uses: with ``adaptive_migration`` notices carry the diff byte
+count (``nbytes``) so the barrier master can keep byte-weighted writer
+histories, and with ``lock_piggyback`` the :class:`NoticeLog` stores the
+releaser's small diffs next to the log entries so grants can ship the
+data, not just the invalidation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 
 @dataclass(frozen=True)
@@ -18,9 +25,15 @@ class WriteNotice:
     page: int
     writer: int
     interval: int
+    #: diff bytes this write produced; 0 unless sized notices are in use
+    #: (``DsmConfig.adaptive_migration``) — the home writer, which makes
+    #: no diff, is credited a full page as documented in the config
+    nbytes: int = 0
 
     #: wire size of one notice record
     NBYTES = 12
+    #: wire size of one *sized* notice record (adaptive migration on)
+    NBYTES_SIZED = 16
 
 
 class NoticeLog:
@@ -29,14 +42,32 @@ class NoticeLog:
     Used by the lock manager: a grant carries every notice the acquirer has
     not yet seen (its cursor), mirroring how LRC piggybacks consistency
     information on lock grants.
+
+    With ``lock_piggyback`` the manager also stores, per log index, the
+    diff the releasing writer attached (:meth:`diff_at`), and remembers
+    which pages each writer has released notices for (:meth:`history_of`)
+    — the grant-time predictor of what an acquirer will touch next.
     """
 
     def __init__(self) -> None:
         self._log: List[WriteNotice] = []
         self._cursor: Dict[int, int] = {}
+        #: log index -> diff attached by the releaser (piggyback mode)
+        self._diffs: Dict[int, list] = {}
+        #: writer -> pages it has released notices for under this lock
+        self._pages_by_writer: Dict[int, Set[int]] = {}
 
-    def append(self, notices) -> None:
+    def append(self, notices, diffs: Optional[Dict[int, list]] = None) -> None:
+        """Append *notices*; *diffs* optionally maps page -> diff for the
+        subset of notices whose data rides along (piggyback mode)."""
+        base = len(self._log)
         self._log.extend(notices)
+        for i, wn in enumerate(notices):
+            self._pages_by_writer.setdefault(wn.writer, set()).add(wn.page)
+            if diffs is not None:
+                diff = diffs.get(wn.page)
+                if diff is not None:
+                    self._diffs[base + i] = diff
 
     def cursor_of(self, consumer: int) -> int:
         """Current cursor of *consumer* (0 for a first-time consumer)."""
@@ -48,8 +79,36 @@ class NoticeLog:
         self._cursor[consumer] = len(self._log)
         return pending
 
+    def diff_at(self, index: int):
+        """Diff attached to log entry *index*, or None."""
+        return self._diffs.get(index)
+
+    def history_of(self, writer: int) -> Set[int]:
+        """Pages *writer* has released notices for under this lock."""
+        return self._pages_by_writer.get(writer, set())
+
     def __len__(self) -> int:
         return len(self._log)
+
+
+def dedupe_notices(notices: Iterable[WriteNotice]) -> List[WriteNotice]:
+    """Drop duplicate ``(page, writer)`` notices, keeping first occurrence.
+
+    Used at barrier arrival: a node that wrote a page in several lock
+    intervals since the last barrier queued one notice per interval, but
+    the master only needs page/writer pairs — later duplicates add wire
+    bytes without information.  Order of first occurrences is preserved
+    (the accumulated lock-interval notices come before the barrier flush's
+    own), keeping the message layout deterministic.
+    """
+    seen = set()
+    out: List[WriteNotice] = []
+    for wn in notices:
+        key = (wn.page, wn.writer)
+        if key not in seen:
+            seen.add(key)
+            out.append(wn)
+    return out
 
 
 def merge_notices(per_node_notices: Dict[int, List[WriteNotice]]) -> Dict[int, Set[int]]:
@@ -59,3 +118,17 @@ def merge_notices(per_node_notices: Dict[int, List[WriteNotice]]) -> Dict[int, S
         for wn in notices:
             writers.setdefault(wn.page, set()).add(wn.writer)
     return writers
+
+
+def merge_notice_bytes(per_node_notices: Dict[int, List[WriteNotice]]) -> Dict[int, Dict[int, int]]:
+    """Collapse sized notices into page -> {writer: bytes written}.
+
+    Feeds the adaptive-migration EWMA at the barrier master; duplicate
+    ``(page, writer)`` notices (already deduped at arrival) would sum.
+    """
+    by_page: Dict[int, Dict[int, int]] = {}
+    for node, notices in per_node_notices.items():
+        for wn in notices:
+            hist = by_page.setdefault(wn.page, {})
+            hist[wn.writer] = hist.get(wn.writer, 0) + wn.nbytes
+    return by_page

@@ -36,7 +36,12 @@ class RunResult:
     ``dsm_stats`` (protocol level; per-node
     :class:`~repro.dsm.node.DsmNodeStats` summed over nodes, plus
     ``home_migrations``) — see :class:`DsmNodeStats` for the per-key
-    documentation.
+    documentation.  Runs with the protocol accelerator on
+    (``protocol_accel=True``; docs/PERFORMANCE.md "Protocol
+    optimizations") additionally populate ``notices_batched``,
+    ``diffs_piggybacked``, ``updates_pushed``, ``updates_installed`` and
+    ``readahead_pages``; all five stay zero with the flags off, so a
+    flags-off run's dict is unchanged.
 
     ``mpi_stats``:
 
@@ -146,6 +151,13 @@ class RunResult:
             "lock_acquires",
             "home_migrations",
             "invalidations",
+            # protocol-accelerator counters: zero (hence hidden) unless
+            # the run had protocol_accel=True
+            "notices_batched",
+            "diffs_piggybacked",
+            "updates_pushed",
+            "updates_installed",
+            "readahead_pages",
         )
         for k in interesting:
             v = self.dsm_stats.get(k, 0)

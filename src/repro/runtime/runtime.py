@@ -40,6 +40,10 @@ class ParadeRuntime:
     mode : ``"parade"`` (hybrid translation) or ``"sdsm"`` (conventional)
     dsm_config : protocol preset; defaults to PARADE_DSM or KDSM_BASELINE
         according to *mode*
+    protocol_accel : turn on the protocol accelerator — write-notice/diff
+        batching, lock-grant diff piggybacking, adaptive home migration —
+        on top of whatever *dsm_config* resolves to (see
+        :meth:`DsmConfig.accelerated` and docs/PERFORMANCE.md)
     cluster_config : hardware model override (interconnect, speeds, costs)
     sanitize : attach the happens-before sanitizer (overrides
         ``dsm_config.sanitize`` when given); the attached instance is
@@ -63,6 +67,7 @@ class ParadeRuntime:
         exec_config: ExecConfig = TWO_THREAD_TWO_CPU,
         mode: str = "parade",
         dsm_config: Optional[DsmConfig] = None,
+        protocol_accel: bool = False,
         cluster_config: Optional[ClusterConfig] = None,
         pool_bytes: Optional[int] = None,
         sanitize: Optional[bool] = None,
@@ -86,6 +91,8 @@ class ParadeRuntime:
             ct.start()
 
         dc = dsm_config or (PARADE_DSM if mode == "parade" else KDSM_BASELINE)
+        if protocol_accel:
+            dc = dc.accelerated()
         if pool_bytes is not None:
             dc = dc.replace(pool_bytes=pool_bytes)
         self.dsm = DsmSystem(self.cluster, self.comm_threads, dc)

@@ -47,6 +47,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "2Thread-2CPU (default)",
     )
     parser.add_argument(
+        "--accel", action="store_true",
+        help="run with the protocol accelerator on — the sanitizer must "
+        "stay green with batched notices, piggybacked diffs, update "
+        "pushes and read-ahead frames in flight",
+    )
+    parser.add_argument(
         "--expect-races", action="store_true",
         help="invert the exit code: fail if NO race is found (for the "
         "seeded racy-* workloads)",
@@ -58,7 +64,8 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_one(name: str, entry: dict, nodes: int, mode: str, exec_config) -> "object":
+def _run_one(name: str, entry: dict, nodes: int, mode: str, exec_config,
+             accel: bool = False) -> "object":
     from repro.runtime import ParadeRuntime
 
     rt = ParadeRuntime(
@@ -66,6 +73,7 @@ def _run_one(name: str, entry: dict, nodes: int, mode: str, exec_config) -> "obj
         exec_config=exec_config,
         mode=mode,
         pool_bytes=entry["pool_bytes"],
+        protocol_accel=accel,
         sanitize=True,
     )
     result = rt.run(entry["factory"]())
@@ -114,7 +122,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     any_findings = False
     for name in targets:
-        san = _run_one(name, registry[name], args.nodes, args.mode, exec_config)
+        san = _run_one(name, registry[name], args.nodes, args.mode, exec_config,
+                       accel=args.accel)
         if not san.ok:
             any_findings = True
             findings = san.findings if args.verbose else san.findings[:10]

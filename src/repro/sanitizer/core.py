@@ -34,6 +34,9 @@ Live protocol invariants (promoted from the offline
 
 * Figure-5 page-state transition legality and per-page chain continuity;
 * ``NoticeLog`` per-consumer cursor monotonicity at lock grants;
+* lock-grant diff piggybacking (``DsmConfig.lock_piggyback``) only ships
+  chains for pages the same grant delivers notices for — the grant's
+  happens-before edge is what makes applying them sound;
 * barrier-epoch agreement (consecutive per node, one arrival per node
   per epoch, epochs complete in order);
 * the ``diff_gap > 0`` single-writer-per-interval precondition at homes.
@@ -454,6 +457,23 @@ class Sanitizer:
                 dedup=key + ("range", end),
             )
         self._cursors[key] = max(prev, end)
+
+    def on_lock_piggyback(self, manager: int, lock_id: int, requester: int,
+                          pages, notice_pages) -> None:
+        """Piggybacked diff chains must be a subset of the pages the same
+        grant delivers notices for: a diff for an un-noticed page would
+        patch bytes the acquirer has no happens-before edge to (the grant
+        edge of :meth:`on_lock_acquire` only covers noticed intervals)."""
+        self.sync_ops += 1
+        extra = set(pages) - set(notice_pages)
+        if extra:
+            self._violation(
+                "piggyback-unnoticed",
+                f"lock {lock_id} manager {manager}: grant to {requester} "
+                f"piggybacked diffs for pages {sorted(extra)} without "
+                f"matching write notices",
+                dedup=(manager, lock_id, requester, tuple(sorted(extra))),
+            )
 
     def on_gap_writers(self, node: int, page: int, writers) -> None:
         """The diff_gap > 0 precondition saw multiple same-interval

@@ -1,0 +1,259 @@
+"""Protocol accelerator: write-notice edge cases, batching x diff_gap,
+update push, fetch read-ahead, and flags-on/off value identity.
+
+The accelerator (docs/PERFORMANCE.md "Protocol optimizations") changes
+*virtual* time and message counts, never computed values — every A/B test
+here pins values bit-identical while asserting the protocol counters
+moved the way the mechanism promises.
+"""
+
+import numpy as np
+
+from repro.dsm import SharedArray
+from repro.dsm.config import PARADE_DSM
+from repro.dsm.writenotice import (
+    NoticeLog,
+    WriteNotice,
+    dedupe_notices,
+    merge_notice_bytes,
+)
+from repro.runtime import ParadeRuntime
+from repro.testing import build_dsm, run_all
+
+
+# ----------------------------------------------------- notice units
+def test_dedupe_suppresses_duplicate_page_writer_pairs():
+    # one notice per lock interval -> only the first (page, writer) ships
+    ns = [
+        WriteNotice(page=3, writer=1, interval=0),
+        WriteNotice(page=3, writer=1, interval=1),   # dup: later interval
+        WriteNotice(page=3, writer=2, interval=1),   # distinct writer: kept
+        WriteNotice(page=4, writer=1, interval=2),
+        WriteNotice(page=3, writer=1, interval=2),   # dup again
+    ]
+    out = dedupe_notices(ns)
+    assert [(wn.page, wn.writer) for wn in out] == [(3, 1), (3, 2), (4, 1)]
+    # first occurrence wins, preserving arrival order and intervals
+    assert out[0].interval == 0
+
+
+def test_dedupe_is_per_call_not_global():
+    # dedupe happens per barrier arrival; a fresh epoch's notice for the
+    # same (page, writer) must not be suppressed by history
+    first = dedupe_notices([WriteNotice(1, 1, 0)])
+    second = dedupe_notices([WriteNotice(1, 1, 1)])
+    assert len(first) == 1 and len(second) == 1
+
+
+def test_merge_notice_bytes_sums_per_writer():
+    per_node = {
+        1: [WriteNotice(7, 1, 0, nbytes=100), WriteNotice(7, 1, 0, nbytes=50)],
+        2: [WriteNotice(7, 2, 0, nbytes=30), WriteNotice(8, 2, 0, nbytes=8)],
+    }
+    by_page = merge_notice_bytes(per_node)
+    assert by_page == {7: {1: 150, 2: 30}, 8: {2: 8}}
+
+
+def test_noticelog_stores_diffs_and_writer_history():
+    log = NoticeLog()
+    log.append(
+        [WriteNotice(5, 1, 0), WriteNotice(6, 1, 0)],
+        diffs={5: [(0, b"ab")]},
+    )
+    log.append([WriteNotice(5, 2, 1)])
+    assert log.diff_at(0) == [(0, b"ab")]
+    assert log.diff_at(1) is None          # no diff attached for page 6
+    assert log.history_of(1) == {5, 6}
+    assert log.history_of(2) == {5}
+    assert log.history_of(3) == set()
+    # cursor semantics: a consumer sees each entry exactly once
+    assert len(log.unseen_by(2)) == 3
+    assert log.unseen_by(2) == []
+
+
+def test_notices_not_coalesced_across_barrier_epochs():
+    """A page re-written in a later epoch must re-invalidate the reader:
+    duplicate suppression is scoped to one barrier arrival, never across
+    epochs."""
+    cluster, _cts, dsm = build_dsm(2)
+    arr = SharedArray.allocate(dsm, "x", (8,))
+    seen = []
+
+    def n0():
+        for epoch in range(3):
+            yield from arr.on(0).set_scalar(0, float(epoch))
+            yield from dsm.node(0).barrier()
+            yield from dsm.node(0).barrier()
+
+    def n1():
+        for _ in range(3):
+            yield from dsm.node(1).barrier()
+            v = yield from arr.on(1).get_scalar(0)
+            seen.append(float(v))
+            yield from dsm.node(1).barrier()
+
+    run_all(cluster, [n0(), n1()])
+    assert seen == [0.0, 1.0, 2.0]
+    # epoch 0 installs the first copy; epochs 1 and 2 each invalidate it
+    assert dsm.node(1).stats.invalidations == 2
+    assert dsm.node(1).stats.pages_fetched == 3
+
+
+# ----------------------------------------------- batching x diff_gap
+def _three_page_flush(cfg):
+    """Node 1 dirties three pages; the barrier flushes all diffs home."""
+    cluster, _cts, dsm = build_dsm(2, dsm_config=cfg)
+    page_f64 = cluster.config.page_size // 8
+    arr = SharedArray.allocate(dsm, "x", (3 * page_f64,))
+    got = []
+
+    def n0():
+        yield from dsm.node(0).barrier()
+        yield from dsm.node(0).barrier()
+        for p in range(3):
+            v = yield from arr.on(0).get_scalar(p * page_f64)
+            got.append(float(v))
+
+    def n1():
+        for p in range(3):
+            # two writes per page separated by < gap unchanged bytes:
+            # with diff_gap they coalesce into one run per page
+            yield from arr.on(1).set_scalar(p * page_f64, 1.0 + p)
+            yield from arr.on(1).set_scalar(p * page_f64 + 2, 2.0 + p)
+        yield from dsm.node(1).barrier()
+        yield from dsm.node(1).barrier()
+
+    run_all(cluster, [n0(), n1()])
+    return got, dsm
+
+
+def test_batching_with_diff_gap_matches_unbatched():
+    base_cfg = PARADE_DSM.replace(diff_gap=32)
+    got_a, dsm_a = _three_page_flush(base_cfg)
+    got_b, dsm_b = _three_page_flush(base_cfg.replace(batch_notices=True))
+    assert got_a == got_b == [1.0, 2.0, 3.0]
+    # per-page diff accounting is batching-invariant ...
+    assert dsm_b.node(1).stats.diffs_sent == dsm_a.node(1).stats.diffs_sent == 3
+    assert dsm_b.node(1).stats.diff_bytes == dsm_a.node(1).stats.diff_bytes
+    # ... but the three sub-512B diffs coalesced into one dbat frame
+    assert dsm_a.node(1).stats.notices_batched == 0
+    assert dsm_b.node(1).stats.notices_batched == 3
+
+
+def test_batching_skips_diffs_over_size_ceiling():
+    """A whole-page diff exceeds batch_max_bytes and keeps its own frame."""
+    cfg = PARADE_DSM.replace(batch_notices=True, batch_max_bytes=64)
+    cluster, _cts, dsm = build_dsm(2, dsm_config=cfg)
+    page_f64 = cluster.config.page_size // 8
+    arr = SharedArray.allocate(dsm, "x", (2 * page_f64,))
+
+    def n0():
+        yield from dsm.node(0).barrier()
+
+    def n1():
+        # page 0: small diff (joins the batch); page 1: full-page rewrite
+        yield from arr.on(1).set_scalar(0, 1.0)
+        yield from arr.on(1).set(np.arange(float(page_f64)), start=page_f64)
+        yield from dsm.node(1).barrier()
+
+    run_all(cluster, [n0(), n1()])
+    assert dsm.node(1).stats.diffs_sent == 2
+    assert dsm.node(1).stats.notices_batched == 1
+
+
+# --------------------------------------------------- fetch read-ahead
+def test_fetch_readahead_cuts_roundtrips_not_values():
+    def scan(cfg):
+        cluster, _cts, dsm = build_dsm(2, dsm_config=cfg)
+        page_f64 = cluster.config.page_size // 8
+        n_pages = 6
+        arr = SharedArray.allocate(dsm, "x", (n_pages * page_f64,))
+        got = []
+
+        def n0():
+            for p in range(n_pages):
+                yield from arr.on(0).set_scalar(p * page_f64, float(p))
+            yield from dsm.node(0).barrier()
+            yield from dsm.node(0).barrier()
+
+        def n1():
+            yield from dsm.node(1).barrier()
+            for p in range(n_pages):       # sequential scan: p-1 then p
+                v = yield from arr.on(1).get_scalar(p * page_f64)
+                got.append(float(v))
+            yield from dsm.node(1).barrier()
+
+        run_all(cluster, [n0(), n1()])
+        return got, dsm.node(1).stats, cluster.sim.now
+
+    got_off, st_off, vt_off = scan(PARADE_DSM)
+    got_on, st_on, vt_on = scan(PARADE_DSM.replace(fetch_readahead=8))
+    assert got_off == got_on == [float(p) for p in range(6)]
+    assert st_off.readahead_pages == 0 and st_off.pages_fetched == 6
+    # the second fault arms the detector; pages 2..5 arrive as trailers
+    assert st_on.readahead_pages == 4
+    assert st_on.pages_fetched == 2
+    assert vt_on < vt_off
+
+
+# ------------------------------------------------ app-level A/B identity
+def _helmholtz_ab(**accel_kw):
+    base = ParadeRuntime(n_nodes=4, pool_bytes=1 << 21)
+    res_base = base.run(_helm_prog())
+    acc = ParadeRuntime(n_nodes=4, pool_bytes=1 << 21, **accel_kw)
+    res_acc = acc.run(_helm_prog())
+    return res_base, res_acc
+
+
+def _helm_prog():
+    from repro.apps import helmholtz
+
+    return helmholtz.make_program(n=48, m=48, max_iters=4)
+
+
+def test_accel_values_bit_identical_and_no_slower():
+    res_base, res_acc = _helmholtz_ab(protocol_accel=True)
+    assert res_acc.value.iterations == res_base.value.iterations
+    assert np.array_equal(res_acc.value.u, res_base.value.u)
+    assert res_acc.value.error == res_base.value.error
+    assert res_acc.elapsed <= res_base.elapsed
+    # flags-off runs never touch the accelerator counters
+    for key in ("notices_batched", "diffs_piggybacked", "updates_pushed",
+                "updates_installed", "readahead_pages"):
+        assert res_base.dsm_stats.get(key, 0) == 0
+    # the accelerated run exercised the push pipeline, and installs
+    # cannot exceed pushes (the gap is staleness drops)
+    assert res_acc.dsm_stats["updates_pushed"] > 0
+    assert 0 < res_acc.dsm_stats["updates_installed"] <= res_acc.dsm_stats[
+        "updates_pushed"
+    ]
+    assert (
+        res_acc.cluster_stats["total_messages"]
+        < res_base.cluster_stats["total_messages"]
+    )
+
+
+def test_accel_flag_matrix_each_mechanism_value_safe():
+    """Every single-flag configuration must reproduce the baseline values
+    exactly — mechanisms are independently toggleable."""
+    from repro.apps import helmholtz
+
+    def run(cfg_kw):
+        rt = ParadeRuntime(
+            n_nodes=2,
+            pool_bytes=1 << 21,
+            dsm_config=PARADE_DSM.replace(**cfg_kw) if cfg_kw else None,
+        )
+        return rt.run(helmholtz.make_program(n=32, m=32, max_iters=3))
+
+    ref = run({})
+    for kw in (
+        {"batch_notices": True},
+        {"lock_piggyback": True},
+        {"adaptive_migration": True},
+        {"fetch_readahead": 8},
+    ):
+        res = run(kw)
+        assert np.array_equal(res.value.u, ref.value.u), kw
+        assert res.value.error == ref.value.error, kw
+        assert res.value.iterations == ref.value.iterations, kw
