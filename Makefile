@@ -4,7 +4,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test test-slow lint bench-smoke bench-gate profile-smoke chaos-smoke bench perf-baseline perf micro
+.PHONY: test test-slow lint bench-smoke bench-gate scale-smoke profile-smoke chaos-smoke bench perf-baseline perf micro
 
 test:            ## tier-1 suite
 	python -m pytest -q
@@ -21,6 +21,9 @@ bench-smoke:     ## perf harness on the tiny basket (regression check)
 
 bench-gate:      ## accel basket vs checked-in baseline; fails on >5% virtual-time regression
 	python -m repro.bench.perf --gate
+
+scale-smoke:     ## 16-node mini-basket, flat vs tree barrier + sharded locks
+	python -m repro.bench.perf --scale --smoke --scale-nodes 16 --out BENCH_smoke.json
 
 profile-smoke:   ## virtual-time profiler invariant check on one workload
 	python -m repro.profile helmholtz --check

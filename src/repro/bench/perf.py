@@ -23,6 +23,15 @@ Usage::
                                             # virtual time of the checked-in
                                             # 'accel' baseline (exit 1 if not)
 
+    python -m repro.bench.perf --scale      # scale-out sweep: run the scale
+                                            # basket at 4/8/16/32 nodes, flat
+                                            # vs hierarchical sync, recording
+                                            # virtual time, message counts and
+                                            # barrier/lock phase fractions per
+                                            # point into the 'scale' section
+                                            # (values must be bit-identical
+                                            # between the two topologies)
+
 The simulator is deterministic, so ``events``, ``virtual_s``, ``msgs_sent``
 and ``bytes_sent`` are exact run invariants (the harness asserts this across
 repeats); only ``wall_s`` carries host noise, which ``--repeat`` (best-of)
@@ -112,6 +121,184 @@ def _smoke_basket() -> Dict[str, dict]:
 
 def basket(smoke: bool = False) -> Dict[str, dict]:
     return _smoke_basket() if smoke else _full_basket()
+
+
+#: node counts of the scale-out sweep (``--scale``); the paper's testbed
+#: stops at 8 — 16 and 32 are the ROADMAP's production-scale extrapolation
+SCALE_NODES = (4, 8, 16, 32)
+
+#: the 16-node point doubles as the CI gate (``make scale-smoke``)
+SCALE_GATE_NODES = 16
+
+
+def _scale_basket(smoke: bool = False) -> Dict[str, dict]:
+    """Workloads of the scale-out sweep: one barrier-dominated stencil and
+    one lock/reduction-heavy solver, sized so the 32-node point still runs
+    in seconds.  ep/md are omitted — their sync behaviour adds nothing the
+    two cover."""
+    from repro.apps import cg, helmholtz
+
+    if smoke:
+        return {
+            "helmholtz": {
+                "factory": lambda: helmholtz.make_program(n=48, m=48, max_iters=3),
+                "pool_bytes": 1 << 21,
+                "note": "scale smoke: Helmholtz 48x48, 3 iterations",
+            },
+            "cg": {
+                "factory": lambda: cg.make_program("T", niter=1),
+                "pool_bytes": 1 << 21,
+                "note": "scale smoke: NAS CG class T, 1 iteration",
+            },
+        }
+    return {
+        "helmholtz": {
+            "factory": lambda: helmholtz.make_program(n=96, m=96, max_iters=6),
+            "pool_bytes": 1 << 23,
+            "note": "scale: Helmholtz 96x96, 6 iterations",
+        },
+        "cg": {
+            "factory": lambda: cg.make_program("S", niter=1),
+            "pool_bytes": 1 << 23,
+            "note": "scale: NAS CG class S, 1 iteration",
+        },
+    }
+
+
+def _scale_value_digest(value) -> str:
+    """Short bit-exact digest of a program result (same canonicalisation
+    as the chaos CLI's recovery check, hashed down for the report)."""
+    import hashlib
+
+    canon = json.dumps(value, sort_keys=True, default=repr)
+    return hashlib.sha256(canon.encode()).hexdigest()[:16]
+
+
+def measure_scale_point(
+    spec: dict, n_nodes: int, hier: bool
+) -> Dict[str, object]:
+    """One (workload, node count, topology) run with the profiler attached.
+
+    Reports virtual time, message counts, the barrier / lock-wait phase
+    shares of total thread time, and the hierarchical-sync counters —
+    including the barrier arrival frames the master received per epoch,
+    the number the tree topology is there to cap at the fan-in.
+    """
+    from repro.profile import Profiler
+    from repro.profile.phases import PH_BARRIER, PH_LOCK_WAIT
+    from repro.runtime import ParadeRuntime
+
+    rt = ParadeRuntime(
+        n_nodes=n_nodes, pool_bytes=spec["pool_bytes"], hierarchical=hier
+    )
+    prof = Profiler(rt.sim, record_intervals=False)
+    t0 = time.perf_counter()
+    res = rt.run(spec["factory"]())
+    wall = time.perf_counter() - t0
+    prof.finalize()
+    totals = prof.totals()
+    thread_s = sum(totals.values())
+    barrier_s = totals.get(PH_BARRIER, 0.0)
+    lock_s = totals.get(PH_LOCK_WAIT, 0.0)
+    master = rt.dsm.nodes[0]
+    epochs = master._barrier_epoch
+    nodes = rt.dsm.nodes
+    return {
+        "wall_s": wall,
+        "virtual_s": res.elapsed,
+        "msgs_sent": rt.cluster.network.total_messages,
+        "bytes_sent": rt.cluster.network.total_bytes,
+        "barrier_s": barrier_s,
+        "lock_s": lock_s,
+        "barrier_frac": barrier_s / thread_s if thread_s else 0.0,
+        "lock_frac": lock_s / thread_s if thread_s else 0.0,
+        "epochs": epochs,
+        "master_arrivals_rx": master.stats.barrier_arrivals_rx,
+        "master_arrivals_per_epoch": (
+            master.stats.barrier_arrivals_rx / epochs if epochs else 0.0
+        ),
+        "barrier_relays": sum(n.stats.barrier_relays for n in nodes),
+        "notices_merged": sum(n.stats.notices_merged for n in nodes),
+        "lock_grants": sum(n.stats.lock_grants for n in nodes),
+        "lock_remote_grants": sum(n.stats.lock_remote_grants for n in nodes),
+        "value_sha": _scale_value_digest(res.value),
+    }
+
+
+def _scale_aggregate(per_workload: Dict[str, Dict[str, object]]) -> Dict[str, object]:
+    """Sum one scale point's per-workload records into the point record."""
+    agg: Dict[str, object] = {"per_workload": per_workload}
+    for key in (
+        "virtual_s", "barrier_s", "lock_s", "msgs_sent", "bytes_sent",
+        "epochs", "master_arrivals_rx", "barrier_relays", "notices_merged",
+        "lock_grants", "lock_remote_grants",
+    ):
+        agg[key] = sum(r[key] for r in per_workload.values())
+    agg["master_arrivals_per_epoch"] = (
+        agg["master_arrivals_rx"] / agg["epochs"] if agg["epochs"] else 0.0
+    )
+    return agg
+
+
+def run_scale(
+    smoke: bool = False,
+    nodes: Optional[List[int]] = None,
+    verbose: bool = True,
+) -> Dict[str, object]:
+    """The ``--scale`` sweep: flat vs hierarchical sync at each node count.
+
+    Asserts that the two topologies compute bit-identical values at every
+    point (hierarchical sync moves messages and timing, never data), then
+    records both sides so the curves in docs/PERFORMANCE.md "Scaling" are
+    reproducible from the checked-in report.
+    """
+    from repro.dsm.config import PARADE_HIER
+
+    node_counts = list(nodes or SCALE_NODES)
+    bk = _scale_basket(smoke)
+    points: Dict[str, Dict[str, object]] = {}
+    for n in node_counts:
+        per: Dict[str, Dict[str, Dict[str, object]]] = {"flat": {}, "hier": {}}
+        for name, spec in bk.items():
+            flat = measure_scale_point(spec, n, hier=False)
+            hier = measure_scale_point(spec, n, hier=True)
+            if flat["value_sha"] != hier["value_sha"]:
+                raise AssertionError(
+                    f"{name}@{n} nodes: hierarchical sync changed the "
+                    "computed value — it must only move messages and timing"
+                )
+            per["flat"][name] = flat
+            per["hier"][name] = hier
+        point = {
+            "flat": _scale_aggregate(per["flat"]),
+            "hier": _scale_aggregate(per["hier"]),
+        }
+        points[str(n)] = point
+        if verbose:
+            f, h = point["flat"], point["hier"]
+            print(
+                f"  n={n:<3} flat: vt={f['virtual_s'] * 1e3:8.3f} ms "
+                f"barrier={f['barrier_s'] * 1e3:9.3f} ms "
+                f"msgs={f['msgs_sent']:>6} "
+                f"arr/epoch={f['master_arrivals_per_epoch']:5.1f}"
+            )
+            print(
+                f"  {'':<5} hier: vt={h['virtual_s'] * 1e3:8.3f} ms "
+                f"barrier={h['barrier_s'] * 1e3:9.3f} ms "
+                f"msgs={h['msgs_sent']:>6} "
+                f"arr/epoch={h['master_arrivals_per_epoch']:5.1f} "
+                f"relays={h['barrier_relays']:>4} "
+                f"merged={h['notices_merged']:>5}"
+            )
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "smoke": smoke,
+        "fanin": PARADE_HIER.barrier_fanin,
+        "lock_shard": PARADE_HIER.lock_shard,
+        "nodes": node_counts,
+        "workloads": {k: v["note"] for k, v in bk.items()},
+        "points": points,
+    }
 
 
 def phase_breakdown(spec: dict, n_nodes: int = 4, accel: bool = False) -> Dict[str, float]:
@@ -339,7 +526,53 @@ def run_gate(path: str = DEFAULT_OUT, n_nodes: Optional[int] = None) -> int:
         print(f"bench-gate: FAIL — aggregate virtual time regressed "
               f"{(ratio - 1) * 100:.2f}% (> {GATE_TOLERANCE:.0%} tolerance)")
         return 1
+    scale_rc = run_scale_gate(report)
+    if scale_rc:
+        return scale_rc
     print(f"bench-gate: OK (within {GATE_TOLERANCE:.0%} of baseline)")
+    return 0
+
+
+def run_scale_gate(report: dict) -> int:
+    """Barrier-path regression gate on the checked-in 16-node scale point.
+
+    If the report carries a ``scale`` section with the
+    :data:`SCALE_GATE_NODES` point, re-run that point with hierarchical
+    sync on and compare end-to-end virtual time *and* barrier-phase
+    virtual time against the baseline — a change that slows only the
+    barrier path (relay costs, merge work, departure fan-out) moves the
+    second number long before it moves the first.  Virtual time is
+    deterministic, so any drift beyond :data:`GATE_TOLERANCE` is a real
+    protocol change.  Returns 0 when absent or within tolerance.
+    """
+    scale = report.get("scale")
+    if not scale:
+        return 0
+    point = scale.get("points", {}).get(str(SCALE_GATE_NODES), {}).get("hier")
+    if not point:
+        return 0
+    bk = _scale_basket(smoke=bool(scale.get("smoke")))
+    per: Dict[str, Dict[str, object]] = {}
+    for name in point.get("per_workload", {}):
+        if name not in bk:
+            print(f"scale-gate: baseline workload {name!r} missing from basket")
+            return 1
+        per[name] = measure_scale_point(bk[name], SCALE_GATE_NODES, hier=True)
+    if not per:
+        return 0
+    cur = _scale_aggregate(per)
+    for metric, label in (("virtual_s", "virtual time"),
+                          ("barrier_s", "barrier-phase virtual time")):
+        b, c = float(point[metric]), float(cur[metric])
+        ratio = c / b if b > 0 else float("inf")
+        print(f"  scale@{SCALE_GATE_NODES}n {label:<27} "
+              f"baseline={b * 1e3:9.3f} ms  current={c * 1e3:9.3f} ms  "
+              f"({(ratio - 1) * 100:+6.2f}%)")
+        if ratio > 1 + GATE_TOLERANCE:
+            print(f"bench-gate: FAIL — {label} at {SCALE_GATE_NODES} nodes "
+                  f"regressed {(ratio - 1) * 100:.2f}% "
+                  f"(> {GATE_TOLERANCE:.0%} tolerance)")
+            return 1
     return 0
 
 
@@ -381,6 +614,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "virtual time regressed more than 5%% vs the checked-in 'accel' "
         "baseline (no report rewrite)",
     )
+    ap.add_argument(
+        "--scale",
+        action="store_true",
+        help="scale-out sweep: run the scale basket at each --scale-nodes "
+        "count, flat vs hierarchical sync, and record the per-point curves "
+        "into the 'scale' section (the 16-node point becomes the "
+        "scale-gate baseline)",
+    )
+    ap.add_argument(
+        "--scale-nodes",
+        default=None,
+        help="comma-separated node counts for --scale "
+        f"(default: {','.join(str(n) for n in SCALE_NODES)})",
+    )
     ap.add_argument("--out", default=None, help="output JSON path")
     ap.add_argument("--nodes", type=int, default=4, help="cluster size (default 4)")
     ap.add_argument(
@@ -396,6 +643,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     out = args.out or (SMOKE_OUT if args.smoke else DEFAULT_OUT)
     if args.gate:
         return run_gate(out, n_nodes=args.nodes if args.nodes != 4 else None)
+    if args.scale:
+        counts = (
+            [int(x) for x in args.scale_nodes.split(",") if x]
+            if args.scale_nodes else None
+        )
+        print(f"scale sweep ({'smoke' if args.smoke else 'full'} basket, "
+              f"flat vs hierarchical) -> {out} [scale]")
+        section = run_scale(smoke=args.smoke, nodes=counts)
+        report = load_report(out)
+        report["schema"] = SCHEMA
+        report["scale"] = section
+        write_report(out, report)
+        return 0
     names = args.workloads.split(",") if args.workloads else None
     section = "accel" if args.accel else ("baseline" if args.baseline else "current")
     print(f"perf basket ({'smoke' if args.smoke else 'full'}"

@@ -86,6 +86,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "so recovery must stay bit-identical with every optimisation "
         "message kind in flight",
     )
+    parser.add_argument(
+        "--hier", action="store_true",
+        help="run with hierarchical synchronization on (tree barrier + "
+        "sharded lock managers) — recovery must stay bit-identical with "
+        "relayed aggregate and forwarded lock frames in flight; composes "
+        "with --accel",
+    )
     return parser
 
 
@@ -95,7 +102,7 @@ def _value_digest(value) -> str:
 
 
 def _run(entry: dict, nodes: int, mode: str, plan=None, seed: int = 0,
-         sanitize: bool = False, accel: bool = False):
+         sanitize: bool = False, accel: bool = False, hier: bool = False):
     from repro.runtime import ParadeRuntime
 
     rt = ParadeRuntime(
@@ -103,6 +110,7 @@ def _run(entry: dict, nodes: int, mode: str, plan=None, seed: int = 0,
         mode=mode,
         pool_bytes=entry["pool_bytes"],
         protocol_accel=accel,
+        hierarchical=hier,
         sanitize=True if sanitize else None,
         fault_plan=plan,
         chaos_seed=seed,
@@ -138,9 +146,10 @@ def _single(args, registry) -> int:
 
     entry = registry[args.app]
     plan = plan_by_name(args.plan)
-    base, _ = _run(entry, args.nodes, args.mode, accel=args.accel)
+    base, _ = _run(entry, args.nodes, args.mode, accel=args.accel,
+                   hier=args.hier)
     res, san = _run(entry, args.nodes, args.mode, plan=plan, seed=args.seed,
-                    sanitize=args.sanitize, accel=args.accel)
+                    sanitize=args.sanitize, accel=args.accel, hier=args.hier)
     label = f"{args.app}/{args.mode}/{args.nodes}n"
     print(f"{label}: fault-free {base.elapsed * 1e3:.3f} ms -> "
           f"under {plan.name!r} {res.elapsed * 1e3:.3f} ms (virtual)")
@@ -172,14 +181,15 @@ def _sweep(args, registry) -> int:
     ok = True
     for app in apps:
         entry = registry[app]
-        base, _ = _run(entry, args.nodes, args.mode, accel=args.accel)
+        base, _ = _run(entry, args.nodes, args.mode, accel=args.accel,
+                       hier=args.hier)
         digest = _value_digest(base.value)
         print(f"{app:<{width}}  fault-free: {base.elapsed * 1e3:9.3f} ms  "
               f"({base.cluster_stats['total_messages']} msgs)")
         for plan in plans:
             res, san = _run(entry, args.nodes, args.mode, plan=plan,
                             seed=args.seed, sanitize=args.sanitize,
-                            accel=args.accel)
+                            accel=args.accel, hier=args.hier)
             failures = _check_run(res, san, digest, plan.reliability.max_retries)
             cs = res.chaos_stats
             lost = (cs.get("drops", 0) + cs.get("flap_drops", 0)

@@ -7,7 +7,7 @@ Linux 2.4 SMP kernel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence, Tuple
 
 from repro.cluster.interconnect import Interconnect, GIGANET_VIA
@@ -69,36 +69,21 @@ class ClusterConfig:
         """Virtual seconds for *work_units* of computation on *node_id*."""
         return work_units * self.seconds_per_work_unit / self.speed_factor(node_id)
 
+    def _is_paper_cpu_pattern(self) -> bool:
+        """Does ``cpu_mhz`` look like the paper testbed cycle, possibly
+        truncated/padded by ``__post_init__``?  Such configs re-expand from
+        the canonical 8-entry tuple on resize instead of cycling the
+        truncated prefix (``with_nodes(4).with_nodes(16)`` must not turn
+        the cluster into sixteen 550 MHz nodes)."""
+        return self.cpu_mhz == tuple(
+            PAPER_CPU_MHZ[i % len(PAPER_CPU_MHZ)] for i in range(self.n_nodes)
+        )
+
     def with_nodes(self, n_nodes: int) -> "ClusterConfig":
         """Copy with a different node count (used by sweeps)."""
-        return ClusterConfig(
-            n_nodes=n_nodes,
-            cpus_per_node=self.cpus_per_node,
-            cpu_mhz=PAPER_CPU_MHZ if self.cpu_mhz == PAPER_CPU_MHZ else self.cpu_mhz,
-            interconnect=self.interconnect,
-            memory_bytes=self.memory_bytes,
-            page_size=self.page_size,
-            seconds_per_work_unit=self.seconds_per_work_unit,
-            fault_overhead=self.fault_overhead,
-            twin_overhead=self.twin_overhead,
-            diff_overhead=self.diff_overhead,
-            diff_apply_overhead=self.diff_apply_overhead,
-            mprotect_overhead=self.mprotect_overhead,
-        )
+        mhz = PAPER_CPU_MHZ if self._is_paper_cpu_pattern() else self.cpu_mhz
+        return replace(self, n_nodes=n_nodes, cpu_mhz=mhz)
 
     def with_cpus(self, cpus_per_node: int) -> "ClusterConfig":
         """Copy with a different CPU count per node (uniprocessor kernel)."""
-        return ClusterConfig(
-            n_nodes=self.n_nodes,
-            cpus_per_node=cpus_per_node,
-            cpu_mhz=self.cpu_mhz,
-            interconnect=self.interconnect,
-            memory_bytes=self.memory_bytes,
-            page_size=self.page_size,
-            seconds_per_work_unit=self.seconds_per_work_unit,
-            fault_overhead=self.fault_overhead,
-            twin_overhead=self.twin_overhead,
-            diff_overhead=self.diff_overhead,
-            diff_apply_overhead=self.diff_apply_overhead,
-            mprotect_overhead=self.mprotect_overhead,
-        )
+        return replace(self, cpus_per_node=cpus_per_node)

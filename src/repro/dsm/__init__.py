@@ -23,7 +23,13 @@ protocol agent.
 from repro.dsm.states import PageState, VALID_TRANSITIONS, is_valid_transition
 from repro.dsm.diffs import make_twin, compute_diff, apply_diff, diff_nbytes
 from repro.dsm.writenotice import WriteNotice, NoticeLog
-from repro.dsm.config import DsmConfig, PARADE_DSM, PARADE_ACCEL, KDSM_BASELINE
+from repro.dsm.config import (
+    DsmConfig,
+    PARADE_DSM,
+    PARADE_ACCEL,
+    PARADE_HIER,
+    KDSM_BASELINE,
+)
 from repro.dsm.system import DsmSystem
 from repro.dsm.node import DsmNode
 from repro.dsm.sharedarray import SharedArray, SharedScalar
@@ -41,6 +47,7 @@ __all__ = [
     "DsmConfig",
     "PARADE_DSM",
     "PARADE_ACCEL",
+    "PARADE_HIER",
     "KDSM_BASELINE",
     "DsmSystem",
     "DsmNode",

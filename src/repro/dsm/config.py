@@ -103,6 +103,37 @@ class DsmConfig:
     #: Best-effort: bundled pages the home cannot serve simply fault
     #: later, so correctness never depends on the read-ahead.
     fetch_readahead: int = 0
+    #: hierarchical synchronization — tree barrier fan-in: 0 keeps the
+    #: flat centralized master (every node sends its arrival straight to
+    #: node 0, the master answers with one departure per node — O(n)
+    #: serial frames at the master).  >= 2 arranges the nodes as a k-ary
+    #: tree rooted at the master (parent of i is ``(i-1)//fanin``);
+    #: arrivals climb the tree, each interior node merging its subtree's
+    #: write notices into one page-level aggregate frame before
+    #: forwarding, so the master receives at most ``fanin`` frames per
+    #: epoch; departures fan out down the same tree.  Values are
+    #: bit-identical either way — only message topology and timing move.
+    barrier_fanin: int = 0
+    #: lock-manager placement: ``"modulo"`` is the historical
+    #: ``lock_id % n_nodes`` mapping (consecutive lock ids pile onto the
+    #: low nodes under small id sets); ``"spread"`` uses a multiplicative
+    #: hash so manager homes scatter across the cluster; ``"locality"``
+    #: adds first-toucher assignment — a static directory node (spread
+    #: hash) hands management of each lock to its first requester and
+    #: forwards stray requests, grants carry the manager id so clients
+    #: cache it and talk to the manager directly from then on.
+    lock_shard: str = "modulo"
+
+    def __post_init__(self):
+        if self.barrier_fanin < 0 or self.barrier_fanin == 1:
+            raise ValueError(
+                f"barrier_fanin must be 0 (flat) or >= 2, got {self.barrier_fanin}"
+            )
+        if self.lock_shard not in ("modulo", "spread", "locality"):
+            raise ValueError(
+                f"lock_shard must be 'modulo', 'spread' or 'locality', "
+                f"got {self.lock_shard!r}"
+            )
 
     def replace(self, **kw) -> "DsmConfig":
         from dataclasses import replace as _replace
@@ -118,6 +149,13 @@ class DsmConfig:
             fetch_readahead=8,
         )
 
+    def hierarchical(self, fanin: int = 4, lock_shard: str = "spread") -> "DsmConfig":
+        """This config with hierarchical synchronization enabled: tree
+        barrier with the given fan-in plus sharded lock-manager homes.
+        Pass ``lock_shard="locality"`` for first-toucher manager
+        assignment on top of the spread directory."""
+        return self.replace(barrier_fanin=fanin, lock_shard=lock_shard)
+
 
 #: ParADE's DSM: HLRC + migratory home, blocking locks.
 PARADE_DSM = DsmConfig(name="parade", home_migration=True, lock_spin=False)
@@ -132,3 +170,8 @@ HOMELESS_LRC = DsmConfig(name="homeless", home_migration=False, homeless=True)
 #: frames, lock-grant diff piggybacking, adaptive (byte-weighted) home
 #: migration.  See docs/PERFORMANCE.md "Protocol optimizations".
 PARADE_ACCEL = PARADE_DSM.accelerated()
+
+#: ParADE's DSM with hierarchical synchronization on: fan-in-4 tree
+#: barrier with in-tree write-notice merging plus spread lock-manager
+#: sharding.  See docs/PERFORMANCE.md "Scaling to 16-32 nodes".
+PARADE_HIER = PARADE_DSM.hierarchical()

@@ -43,6 +43,8 @@ from repro.dsm.writenotice import (
     WriteNotice,
     NoticeLog,
     dedupe_notices,
+    fold_writer_bytes,
+    fold_writer_sets,
     merge_notices,
     merge_notice_bytes,
 )
@@ -161,6 +163,27 @@ class DsmNodeStats:
                                   sequential-fetch replies — round-trips   ablations
                                   a block scan or gather skipped
                                   (``dsm.page/readahead-apply``)
+    barrier_arrivals_rx   count   barrier arrival frames received from     scale-out ablations
+                                  *other* nodes: n-1 per epoch at a flat   (docs/PERFORMANCE.md
+                                  master, <= fan-in per epoch per tree     "Scaling")
+                                  node with ``barrier_fanin`` on
+                                  (``dsm.barrier`` arrive/relay receipt)
+    barrier_relays        count   tree frames this node relayed as an      scale-out ablations
+                                  interior node: subtree aggregates
+                                  forwarded up + departure frames fanned
+                                  out down (``dsm.barrier/relay``,
+                                  ``dsm.barrier/fanout``)
+    notices_merged        count   page records collapsed into an already   scale-out ablations
+                                  aggregated page entry while climbing
+                                  the barrier tree — notice records the
+                                  in-tree merge kept off the wire
+                                  (``dsm.barrier/relay`` args ``pages``)
+    lock_grants           count   lock grants issued by this node as       scale-out ablations
+                                  manager (``dsm.lock/grant``)             (shard balance)
+    lock_remote_grants    count   ... granted to another node; the         scale-out ablations
+                                  remote share shows whether
+                                  ``lock_shard="locality"`` kept grants
+                                  local (``dsm.lock/grant`` requester)
     ====================  ======  =======================================  ==========================
 
     ``RunResult.dsm_stats`` additionally carries the system-wide
@@ -188,6 +211,11 @@ class DsmNodeStats:
     updates_pushed: int = 0
     updates_installed: int = 0
     readahead_pages: int = 0
+    barrier_arrivals_rx: int = 0
+    barrier_relays: int = 0
+    notices_merged: int = 0
+    lock_grants: int = 0
+    lock_remote_grants: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -250,11 +278,40 @@ class DsmNode:
         self._barrier_epoch = 0
         self._bar_arrivals: Dict[int, Dict[int, List[WriteNotice]]] = {}
         self._bar_wait: Dict[int, Event] = {}
+        # highest epoch whose release/departure has passed through this
+        # node — arrival frames at or below it are late duplicates and are
+        # dropped instead of resurrecting a ghost _bar_arrivals entry that
+        # could never complete
+        self._bar_released = -1
+        # hierarchical barrier (DsmConfig.barrier_fanin >= 2): k-ary tree
+        # rooted at the master; arrivals climb it with in-tree notice
+        # merging, departures fan out down it
+        f = dsm_config.barrier_fanin
+        self._fanin = f
+        if f:
+            self._bar_parent = (self.id - 1) // f if self.id else None
+            self._bar_children = [
+                c for c in range(f * self.id + 1, f * self.id + f + 1)
+                if c < n_nodes
+            ]
+        else:
+            self._bar_parent = None
+            self._bar_children = []
+        # epoch -> partially folded subtree aggregate:
+        # {"n": contributions seen, "writers": {page: {writer}},
+        #  "bytes": {page: {writer: diff bytes}} (adaptive only),
+        #  "fetched": {node: (page, ...)} (adaptive push interest)}
+        self._bar_agg: Dict[int, dict] = {}
 
         # lock manager state (for locks homed here)
         self._lock_holder: Dict[int, Optional[int]] = {}
         self._lock_queue: Dict[int, List] = {}
         self._lock_log: Dict[int, NoticeLog] = {}
+        # lock sharding (DsmConfig.lock_shard="locality"): the static
+        # directory's record of each lock's assigned (first-toucher)
+        # manager, and the client-side manager cache learned from grants
+        self._lock_assign: Dict[int, int] = {}
+        self._lock_home: Dict[int, int] = {}
         self._interval = 0
         # notices this node created in lock intervals since the last barrier;
         # they must still propagate at the next barrier (HLRC would carry
@@ -1374,6 +1431,7 @@ class DsmNode:
         wait = Event(self.sim, name=f"bardep[{self.id}:{epoch}]")
         self._bar_wait[epoch] = wait
         nb = 16 + self._notice_nbytes * len(notices)
+        fetched: List[int] = []
         if self._accel_adaptive:
             # report update-push interest: pages we remote-fetched this
             # window (4 B per page id on the wire)
@@ -1389,7 +1447,20 @@ class DsmNode:
         san = self.sim.san
         if san is not None:
             san.on_barrier_arrive(self.id, epoch)
-        yield from self.net.send(self.id, self.master_id, nb, payload, tag=("bar", "arr", epoch))
+        if self._fanin:
+            # hierarchical barrier: contribute the page-level aggregate of
+            # our own notices to this node's subtree fold — no frame until
+            # the whole subtree has arrived (leaves forward immediately)
+            own = {self.id: notices}
+            yield from self._tree_contribute(
+                epoch,
+                merge_notices(own),
+                merge_notice_bytes(own) if self._accel_adaptive else None,
+                {self.id: tuple(fetched)} if fetched else {},
+            )
+        else:
+            yield from self.net.send(self.id, self.master_id, nb, payload,
+                                     tag=("bar", "arr", epoch))
         departure = yield wait
         if len(departure) == 3:
             inval_writers, new_homes, push_plan = departure
@@ -1527,6 +1598,24 @@ class DsmNode:
         """Comm-thread handler for the 'bar' channel."""
         _chan, kind, epoch = msg.tag
         if kind == "arr":
+            if epoch <= self._bar_released:
+                # late or duplicate arrival for an epoch already released:
+                # drop it instead of resurrecting a ghost arrivals entry
+                # that could never reach quorum again
+                tr = self.sim.trace
+                if tr is not None:
+                    tr.instant("dsm.barrier", "drop-late", node=self.id,
+                               epoch=epoch, src=msg.src)
+                return
+            if msg.src != self.id:
+                self.stats.barrier_arrivals_rx += 1
+            if self._fanin:
+                # tree mode: the frame is a subtree's page-level aggregate
+                _node, writers, bytes_by_page, fetched = msg.payload
+                yield from self._tree_contribute(
+                    epoch, writers, bytes_by_page, fetched
+                )
+                return
             assert self.id == self.master_id
             if len(msg.payload) == 3:
                 node, notices, fetched = msg.payload
@@ -1540,20 +1629,95 @@ class DsmNode:
                 yield from self._barrier_release(epoch, arrivals)
             return
         if kind == "dep":
+            self._bar_released = max(self._bar_released, epoch)
+            if self._fanin and self._bar_children:
+                # fan the departure out down the tree before waking local
+                # threads — the deeper subtrees' latency dominates
+                tr = self.sim.trace
+                fwd_nb = msg.nbytes - self.net.HEADER_BYTES
+                for dst in self._bar_children:
+                    self.stats.barrier_relays += 1
+                    if tr is not None:
+                        tr.instant("dsm.barrier", "fanout", node=self.id,
+                                   epoch=epoch, dst=dst)
+                    yield from self.net.send(self.id, dst, fwd_nb, msg.payload,
+                                             tag=("bar", "dep", epoch))
             ev = self._bar_wait.pop(epoch)
             ev.succeed(msg.payload)
             return
         raise RuntimeError(f"unknown barrier message kind {kind!r}")  # pragma: no cover
         yield  # pragma: no cover
 
+    def _tree_contribute(self, epoch: int, writers, bytes_by_page, fetched):
+        """Fold one subtree contribution (our own arrival or a child's
+        aggregate frame) into this node's per-epoch aggregate; once the
+        whole subtree (self + every child) has contributed, forward one
+        merged frame to the parent — or release, at the master."""
+        agg = self._bar_agg.get(epoch)
+        if agg is None:
+            agg = self._bar_agg[epoch] = {
+                "n": 0, "writers": {}, "bytes": {}, "fetched": {},
+            }
+        self.stats.notices_merged += fold_writer_sets(agg["writers"], writers)
+        if bytes_by_page:
+            fold_writer_bytes(agg["bytes"], bytes_by_page)
+        if fetched:
+            agg["fetched"].update(fetched)
+        agg["n"] += 1
+        if agg["n"] == 1 + len(self._bar_children):
+            del self._bar_agg[epoch]
+            yield from self._tree_forward(epoch, agg)
+
+    def _tree_forward(self, epoch: int, agg):
+        """A subtree is complete: merge cost, then one frame up — or the
+        release itself when this node is the master."""
+        writers = agg["writers"]
+        # the in-tree merge costs CPU, same scale as the master's merge
+        yield from self.node.busy_cpu(0.5e-6 + 0.1e-6 * len(writers))
+        if self.id == self.master_id:
+            yield from self._tree_release(epoch, agg)
+            return
+        pairs = sum(len(ws) for ws in writers.values())
+        nb = 16 + 8 * len(writers) + 4 * pairs
+        if self._accel_adaptive:
+            nb += 4 * pairs  # sized aggregates: per-writer byte counts
+            nb += sum(8 + 4 * len(pg) for pg in agg["fetched"].values())
+            payload = (self.id, writers, agg["bytes"], agg["fetched"])
+        else:
+            payload = (self.id, writers, None, None)
+        tr = self.sim.trace
+        if tr is not None:
+            tr.instant("dsm.barrier", "relay", node=self.id, epoch=epoch,
+                       pages=len(writers), pairs=pairs,
+                       subtree=1 + len(self._bar_children))
+        if self._bar_children:
+            self.stats.barrier_relays += 1
+        yield from self.net.send(self.id, self._bar_parent, nb, payload,
+                                 tag=("bar", "arr", epoch))
+
+    def _tree_release(self, epoch: int, agg):
+        """Master, tree mode: the aggregate is already page-level."""
+        if self._accel_adaptive:
+            self._update_migration_history(agg["bytes"])
+            for node, pages in agg["fetched"].items():
+                for p in pages:
+                    self._push_interest.setdefault(p, {})[node] = epoch
+        yield from self._release_epoch(epoch, agg["writers"])
+
     def _barrier_release(self, epoch: int, arrivals):
-        """Master: merge notices, decide home migration, send departures."""
+        """Master, flat mode: merge notices, then release the epoch."""
         del self._bar_arrivals[epoch]
         writers_by_page = merge_notices(arrivals)
+        if self._accel_adaptive:
+            self._update_migration_history(merge_notice_bytes(arrivals))
+        yield from self._release_epoch(epoch, writers_by_page)
+
+    def _release_epoch(self, epoch: int, writers_by_page):
+        """Master: decide home migration, build the departure, send it —
+        to every node directly (flat) or down the tree (hierarchical)."""
         tr = self.sim.trace
         new_homes: Dict[int, int] = {}
         if self._accel_adaptive:
-            self._update_migration_history(arrivals)
             for page, writers in writers_by_page.items():
                 old_home = self.home[page]
                 hist = self._mig_hist.get(page)
@@ -1626,13 +1790,28 @@ class DsmNode:
             nb = 16 + 16 * len(writers_by_page) + 8 * len(new_homes)
         # small CPU cost for the merge itself
         yield from self.node.busy_cpu(1e-6 + 0.2e-6 * len(writers_by_page))
-        for dst in range(self.system.cluster.n_nodes):
-            yield from self.net.send(self.id, dst, nb, payload, tag=("bar", "dep", epoch))
+        self._bar_released = max(self._bar_released, epoch)
+        if self._fanin:
+            for dst in self._bar_children:
+                if tr is not None:
+                    tr.instant("dsm.barrier", "fanout", node=self.id,
+                               epoch=epoch, dst=dst)
+                yield from self.net.send(self.id, dst, nb, payload,
+                                         tag=("bar", "dep", epoch))
+            # the master's own departure is local: wake the waiting thread
+            # directly instead of a loopback frame
+            ev = self._bar_wait.pop(epoch)
+            ev.succeed(payload)
+        else:
+            for dst in range(self.system.cluster.n_nodes):
+                yield from self.net.send(self.id, dst, nb, payload,
+                                         tag=("bar", "dep", epoch))
 
-    def _update_migration_history(self, arrivals) -> None:
-        """Fold this epoch's sized notices into the per-page writer EWMA
-        (halved every epoch; entries fading below one byte are dropped so
-        the table tracks the working set, not the whole pool)."""
+    def _update_migration_history(self, bytes_by_page) -> None:
+        """Fold this epoch's merged sized-notice bytes (page -> {writer:
+        bytes}) into the per-page writer EWMA (halved every epoch; entries
+        fading below one byte are dropped so the table tracks the working
+        set, not the whole pool)."""
         hist = self._mig_hist
         dead = []
         for page, by_writer in hist.items():
@@ -1647,7 +1826,7 @@ class DsmNode:
                 dead.append(page)
         for page in dead:
             del hist[page]
-        for page, by_writer in merge_notice_bytes(arrivals).items():
+        for page, by_writer in bytes_by_page.items():
             cur = hist.setdefault(page, {})
             for w, nb in by_writer.items():
                 cur[w] = cur.get(w, 0.0) + float(nb)
@@ -1655,8 +1834,30 @@ class DsmNode:
     # ------------------------------------------------------------------
     # distributed locks (LRC piggybacking; KDSM-style optional busy-wait)
     # ------------------------------------------------------------------
+    def lock_directory_of(self, lock_id: int) -> int:
+        """Static shard home of a lock: the node that serves (or, in
+        locality mode, assigns and forwards) its acquire requests.
+        ``"modulo"`` keeps the historical ``lock_id % n`` mapping; the
+        other modes scatter consecutive lock ids across the cluster with
+        a multiplicative hash so small id sets don't pile every manager
+        onto the low nodes."""
+        n = self.system.cluster.n_nodes
+        if self.config.lock_shard == "modulo":
+            return lock_id % n
+        # Fibonacci hash, taking the *high* bits of the 32-bit product:
+        # the multiplier is odd, so reducing the product mod a
+        # power-of-two n would use only its low bits and collapse back
+        # to the modulo mapping (2654435761 ≡ 1 mod 16).
+        return (((lock_id * 2654435761) & 0xFFFFFFFF) >> 17) % n
+
     def lock_manager_of(self, lock_id: int) -> int:
-        return lock_id % self.system.cluster.n_nodes
+        """The node this client sends lock traffic to.  In locality mode
+        this is the cached first-toucher manager once a grant has taught
+        us where the lock lives; until then, the directory (which
+        forwards)."""
+        if self.config.lock_shard == "locality":
+            return self._lock_home.get(lock_id, self.lock_directory_of(lock_id))
+        return self.lock_directory_of(lock_id)
 
     def lock_acquire(self, lock_id: int):
         """Acquire a global lock; applies piggybacked write notices."""
@@ -1689,6 +1890,11 @@ class DsmNode:
         finally:
             if prof is not None:
                 prof.pop()
+        if self.config.lock_shard == "locality":
+            # the grant names the actual manager: cache it so later
+            # acquires/releases skip the directory hop
+            manager, granted = granted
+            self._lock_home[lock_id] = manager
         if self._accel_piggyback:
             notices, piggy = granted
         else:
@@ -1808,6 +2014,37 @@ class DsmNode:
         _chan, kind, req_id = msg.tag
         if kind == "acq":
             lock_id, requester = msg.payload
+            if self.config.lock_shard == "locality":
+                owner = self._lock_assign.get(lock_id)
+                if owner is None:
+                    if self.lock_directory_of(lock_id) == self.id:
+                        # directory, first request: the first toucher
+                        # becomes the lock's manager
+                        owner = self._lock_assign[lock_id] = requester
+                        tr = self.sim.trace
+                        if tr is not None:
+                            tr.instant("dsm.lock", "shard-assign",
+                                       node=self.id, lock=lock_id,
+                                       manager=requester)
+                    else:
+                        # the directory forwarded this frame to us: we are
+                        # the assigned manager
+                        owner = self._lock_assign[lock_id] = self.id
+                if owner != self.id:
+                    # request landed on the directory for a lock managed
+                    # elsewhere (a client that hasn't learnt the manager
+                    # yet): forward it, same tag so the grant still
+                    # resolves the requester's original req_id
+                    tr = self.sim.trace
+                    if tr is not None:
+                        tr.instant("dsm.lock", "forward", node=self.id,
+                                   lock=lock_id, requester=requester,
+                                   manager=owner)
+                    yield from self.net.send(
+                        self.id, owner, 12, msg.payload,
+                        tag=("lk", "acq", req_id),
+                    )
+                    return
             log = self._lock_log.setdefault(lock_id, NoticeLog())
             holder = self._lock_holder.get(lock_id)
             if holder is None:
@@ -1838,6 +2075,9 @@ class DsmNode:
         raise RuntimeError(f"unknown lock message kind {kind!r}")  # pragma: no cover
 
     def _grant(self, lock_id: int, requester: int, req_id: int, log: NoticeLog):
+        self.stats.lock_grants += 1
+        if requester != self.id:
+            self.stats.lock_remote_grants += 1
         prof = self.sim.prof
         if prof is not None:
             # manager-side grant: the hot-lock table counts token hops
@@ -1880,6 +2120,11 @@ class DsmNode:
             nb += sum(
                 diff_nbytes(d) for chain in piggy.values() for d in chain
             ) + 8 * len(piggy)
+        if self.config.lock_shard == "locality":
+            # grants carry the manager id so clients learn (and cache)
+            # where the lock lives after the first directory hop
+            payload = (self.id, payload)
+            nb += 4
         yield from self.net.send(self.id, requester, nb, payload, tag=("lk", "gr", req_id))
 
     def _build_piggyback(self, log: NoticeLog, requester: int, start: int, pending):

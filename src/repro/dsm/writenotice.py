@@ -120,6 +120,39 @@ def merge_notices(per_node_notices: Dict[int, List[WriteNotice]]) -> Dict[int, S
     return writers
 
 
+def fold_writer_sets(dst: Dict[int, Set[int]], src: Dict[int, Iterable[int]]) -> int:
+    """Fold a page -> writers aggregate *src* into *dst* in place.
+
+    The in-tree merge step of the hierarchical barrier
+    (``DsmConfig.barrier_fanin``): each interior tree node folds its own
+    and its children's page-level aggregates into one map before
+    forwarding a single frame to its parent, so the master sees O(fan-in)
+    frames instead of O(n).  Returns the number of incoming page records
+    that collapsed into an already-present page entry — the notice
+    records the merge kept off the next hop's wire
+    (``DsmNodeStats.notices_merged``).
+    """
+    merged = 0
+    for page, ws in src.items():
+        cur = dst.get(page)
+        if cur is None:
+            dst[page] = set(ws)
+        else:
+            cur.update(ws)
+            merged += 1
+    return merged
+
+
+def fold_writer_bytes(dst: Dict[int, Dict[int, int]], src: Dict[int, Dict[int, int]]) -> None:
+    """Fold a page -> {writer: bytes} aggregate *src* into *dst* in place
+    (sized notices climbing the barrier tree; the same summing rule as
+    :func:`merge_notice_bytes`, applied hop by hop)."""
+    for page, by_writer in src.items():
+        cur = dst.setdefault(page, {})
+        for w, nb in by_writer.items():
+            cur[w] = cur.get(w, 0) + nb
+
+
 def merge_notice_bytes(per_node_notices: Dict[int, List[WriteNotice]]) -> Dict[int, Dict[int, int]]:
     """Collapse sized notices into page -> {writer: bytes written}.
 

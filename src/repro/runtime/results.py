@@ -41,7 +41,19 @@ class RunResult:
     optimizations") additionally populate ``notices_batched``,
     ``diffs_piggybacked``, ``updates_pushed``, ``updates_installed`` and
     ``readahead_pages``; all five stay zero with the flags off, so a
-    flags-off run's dict is unchanged.
+    flags-off run's dict is unchanged.  Runs with hierarchical
+    synchronization on (``hierarchical=True``; docs/PERFORMANCE.md
+    "Scaling past eight nodes") likewise populate the scale-out
+    counters ``barrier_relays`` (tree-barrier aggregate frames relayed
+    or fanned out by interior nodes) and ``notices_merged`` (per-page
+    write-notice records collapsed into an existing page entry while
+    folding child contributions in-tree), while ``barrier_arrivals_rx``
+    (remote barrier-arrival frames received — on the master this is
+    n−1 per epoch flat but at most the tree fan-in with
+    ``barrier_fanin`` set), ``lock_grants`` and ``lock_remote_grants``
+    (grants total / grants to another node, whose ratio is the lock
+    shard's remote-grant share) count in every run and let flat and
+    sharded topologies be compared key-for-key.
 
     ``mpi_stats``:
 
@@ -158,6 +170,11 @@ class RunResult:
             "updates_pushed",
             "updates_installed",
             "readahead_pages",
+            # scale-out counters: relay/merge stay zero (hence hidden)
+            # unless the run had hierarchical=True
+            "barrier_relays",
+            "notices_merged",
+            "lock_remote_grants",
         )
         for k in interesting:
             v = self.dsm_stats.get(k, 0)

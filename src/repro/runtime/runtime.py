@@ -44,6 +44,11 @@ class ParadeRuntime:
         batching, lock-grant diff piggybacking, adaptive home migration —
         on top of whatever *dsm_config* resolves to (see
         :meth:`DsmConfig.accelerated` and docs/PERFORMANCE.md)
+    hierarchical : turn on hierarchical synchronization — fan-in-4 tree
+        barrier with in-tree write-notice merging plus spread lock-manager
+        sharding — on top of whatever *dsm_config* resolves to (see
+        :meth:`DsmConfig.hierarchical` and docs/PERFORMANCE.md "Scaling");
+        composes with *protocol_accel*
     cluster_config : hardware model override (interconnect, speeds, costs)
     sanitize : attach the happens-before sanitizer (overrides
         ``dsm_config.sanitize`` when given); the attached instance is
@@ -68,6 +73,7 @@ class ParadeRuntime:
         mode: str = "parade",
         dsm_config: Optional[DsmConfig] = None,
         protocol_accel: bool = False,
+        hierarchical: bool = False,
         cluster_config: Optional[ClusterConfig] = None,
         pool_bytes: Optional[int] = None,
         sanitize: Optional[bool] = None,
@@ -93,6 +99,8 @@ class ParadeRuntime:
         dc = dsm_config or (PARADE_DSM if mode == "parade" else KDSM_BASELINE)
         if protocol_accel:
             dc = dc.accelerated()
+        if hierarchical:
+            dc = dc.hierarchical()
         if pool_bytes is not None:
             dc = dc.replace(pool_bytes=pool_bytes)
         self.dsm = DsmSystem(self.cluster, self.comm_threads, dc)

@@ -53,6 +53,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "pushes and read-ahead frames in flight",
     )
     parser.add_argument(
+        "--hier", action="store_true",
+        help="run with hierarchical synchronization on — the sanitizer "
+        "must stay green with tree-barrier aggregate frames and sharded "
+        "lock managers in flight (composes with --accel)",
+    )
+    parser.add_argument(
         "--expect-races", action="store_true",
         help="invert the exit code: fail if NO race is found (for the "
         "seeded racy-* workloads)",
@@ -65,7 +71,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _run_one(name: str, entry: dict, nodes: int, mode: str, exec_config,
-             accel: bool = False) -> "object":
+             accel: bool = False, hier: bool = False) -> "object":
     from repro.runtime import ParadeRuntime
 
     rt = ParadeRuntime(
@@ -74,6 +80,7 @@ def _run_one(name: str, entry: dict, nodes: int, mode: str, exec_config,
         mode=mode,
         pool_bytes=entry["pool_bytes"],
         protocol_accel=accel,
+        hierarchical=hier,
         sanitize=True,
     )
     result = rt.run(entry["factory"]())
@@ -123,7 +130,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     any_findings = False
     for name in targets:
         san = _run_one(name, registry[name], args.nodes, args.mode, exec_config,
-                       accel=args.accel)
+                       accel=args.accel, hier=args.hier)
         if not san.ok:
             any_findings = True
             findings = san.findings if args.verbose else san.findings[:10]

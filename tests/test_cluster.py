@@ -78,6 +78,30 @@ def test_config_cpu_list_padding():
     assert cfg.cpu_mhz == (500, 500, 500, 500)
 
 
+def test_with_nodes_reexpands_paper_cycle():
+    """Regression: shrinking to 4 nodes truncates cpu_mhz to (550,)*4;
+    growing back must re-expand from the canonical paper cycle, not pad
+    the truncated prefix into an all-550 cluster."""
+    grown = ClusterConfig().with_nodes(4).with_nodes(16)
+    assert grown.cpu_mhz == tuple(
+        PAPER_CPU_MHZ[i % len(PAPER_CPU_MHZ)] for i in range(16)
+    )
+    assert 600 in grown.cpu_mhz
+    # round-tripping through any size is lossless for paper-pattern configs
+    assert ClusterConfig().with_nodes(2).with_nodes(8) == ClusterConfig()
+
+
+def test_with_nodes_keeps_custom_speeds_and_fields():
+    """Non-paper cpu_mhz patterns keep cycling their own tuple, and
+    unrelated overridden fields survive the dataclasses.replace copy."""
+    cfg = ClusterConfig(n_nodes=2, cpu_mhz=(700, 800), fault_overhead=42e-6)
+    grown = cfg.with_nodes(4)
+    assert grown.cpu_mhz == (700, 800, 700, 800)
+    assert grown.fault_overhead == 42e-6
+    assert cfg.with_cpus(1).cpus_per_node == 1
+    assert cfg.with_cpus(1).cpu_mhz == (700, 800)
+
+
 # ------------------------------------------------------------- network
 def test_message_delivery_latency():
     cluster = build_cluster(2)

@@ -1,0 +1,289 @@
+"""Scale-out hardening tests: tree barrier, sharded locks, 16-node goldens.
+
+The hierarchical-synchronization knobs (``DsmConfig.barrier_fanin``,
+``lock_shard``) restructure *who talks to whom* at barriers and locks
+without changing what is computed.  These tests pin that contract:
+
+* 16-node goldens (helmholtz + cg) for the hierarchical configuration —
+  the large-cluster counterpart of ``test_determinism_golden.py``;
+* flat-vs-tree value identity, with the master's per-epoch arrival
+  inflow capped at the fan-in;
+* the released-epoch watermark that keeps late/duplicate arrival frames
+  from seeding ghost arrival entries (the latent flat-barrier bug);
+* bit-identical recovery under the chaos ``dup`` plan with the tree on
+  (duplicated relay frames must be suppressed per-hop);
+* lock-shard mappings: spread must not collapse to modulo on
+  power-of-two clusters, and every mode must serialise a critical
+  region identically.
+
+Regenerate goldens (only when an *intentional* protocol change lands)::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_scale_out.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.apps import cg, helmholtz
+from repro.chaos import plan_by_name
+from repro.cluster.network import Message
+from repro.runtime import ParadeRuntime
+from repro.trace import TraceRecorder, check_trace
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+N_NODES = 16
+
+WORKLOADS = {
+    "helmholtz": {
+        "factory": lambda: helmholtz.make_program(n=48, m=48, max_iters=3),
+        "pool": 1 << 21,
+    },
+    "cg": {
+        "factory": lambda: cg.make_program("T", niter=1),
+        "pool": 1 << 21,
+    },
+}
+
+
+def _run(name, n_nodes=N_NODES, hier=True, traced=False, **kw):
+    spec = WORKLOADS[name]
+    rt = ParadeRuntime(
+        n_nodes=n_nodes, pool_bytes=spec["pool"], hierarchical=hier, **kw
+    )
+    rec = TraceRecorder(rt.sim, capacity=1 << 18, queue_stride=64) if traced else None
+    res = rt.run(spec["factory"]())
+    return rt, res, rec
+
+
+def _value_digest(res) -> str:
+    return hashlib.sha256(
+        json.dumps(res.value, sort_keys=True, default=repr).encode()
+    ).hexdigest()
+
+
+def _trace_digest(events) -> str:
+    h = hashlib.sha256()
+    for ev in events:
+        h.update(json.dumps(ev.as_dict(), sort_keys=True).encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# 16-node hierarchical goldens
+# ----------------------------------------------------------------------
+def _golden_path(name) -> pathlib.Path:
+    return GOLDEN_DIR / f"determinism_{name}_16node_hier.json"
+
+
+def _snapshot(name) -> dict:
+    rt, res, rec = _run(name, traced=True)
+    report = check_trace(rec.events)
+    assert report.ok, report.summary()
+    return {
+        "elapsed": res.elapsed,
+        "total_messages": int(res.cluster_stats["total_messages"]),
+        "total_bytes": int(res.cluster_stats["total_bytes"]),
+        "dsm_stats": res.dsm_stats,
+        "barrier_epochs": [dn._barrier_epoch for dn in rt.dsm.nodes],
+        "n_trace_events": rec.n_emitted,
+        "trace_digest": _trace_digest(rec.events),
+        "value_digest": _value_digest(res),
+    }
+
+
+def _load_or_regen(name) -> dict:
+    path = _golden_path(name)
+    if os.environ.get("REPRO_REGEN_GOLDENS") or not path.exists():
+        snap = _snapshot(name)
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+    return json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_16node_hier_run_matches_golden(name):
+    """Virtual time, stats, values and the full trace stream of a
+    16-node tree-barrier + spread-shard run are pinned byte-for-byte."""
+    golden = _load_or_regen(name)
+    rt, res, rec = _run(name, traced=True)
+    assert res.elapsed == golden["elapsed"]
+    assert int(res.cluster_stats["total_messages"]) == golden["total_messages"]
+    assert int(res.cluster_stats["total_bytes"]) == golden["total_bytes"]
+    assert res.dsm_stats == golden["dsm_stats"]
+    assert [dn._barrier_epoch for dn in rt.dsm.nodes] == golden["barrier_epochs"]
+    assert rec.n_emitted == golden["n_trace_events"]
+    assert _trace_digest(rec.events) == golden["trace_digest"]
+    assert _value_digest(res) == golden["value_digest"]
+
+
+# ----------------------------------------------------------------------
+# flat vs tree: same values, capped master inflow
+# ----------------------------------------------------------------------
+def test_tree_barrier_caps_master_inflow_and_preserves_values():
+    rt_flat, res_flat, _ = _run("helmholtz", hier=False)
+    rt_tree, res_tree, _ = _run("helmholtz", hier=True)
+
+    assert _value_digest(res_flat) == _value_digest(res_tree)
+
+    epochs = rt_flat.dsm.nodes[0]._barrier_epoch
+    assert epochs == rt_tree.dsm.nodes[0]._barrier_epoch
+    flat_rx = rt_flat.dsm.nodes[0].stats.barrier_arrivals_rx
+    tree_rx = rt_tree.dsm.nodes[0].stats.barrier_arrivals_rx
+    fanin = rt_tree.dsm.nodes[0].config.barrier_fanin
+
+    # flat master: one arrival frame from every other node, every epoch
+    assert flat_rx == (N_NODES - 1) * epochs
+    # tree master: at most fan-in subtree aggregates per epoch
+    assert fanin >= 2
+    assert tree_rx <= fanin * epochs
+    # the interior did real work: relays in both directions, notices
+    # folded before reaching the root
+    assert res_tree.dsm_stats["barrier_relays"] > 0
+    assert res_tree.dsm_stats["notices_merged"] > 0
+    assert res_flat.dsm_stats["barrier_relays"] == 0
+    assert res_flat.dsm_stats["notices_merged"] == 0
+
+
+# ----------------------------------------------------------------------
+# released-epoch watermark: late/duplicate arrivals must be dropped
+# ----------------------------------------------------------------------
+def _late_arrival(node, epoch, payload):
+    msg = Message(src=1, dst=node.id, nbytes=64, payload=payload,
+                  tag=("bar", "arr", epoch))
+    # handle_barrier is a generator; the drop path exits before any yield
+    assert list(node.handle_barrier(msg)) == []
+
+
+def test_late_arrival_after_release_leaves_no_ghost_entry():
+    """Regression: a straggler or duplicated arrival frame for an
+    already-released epoch used to ``setdefault`` a fresh arrivals dict
+    that could never reach quorum, wedging a later barrier.  The
+    watermark drops it."""
+    rt, _res, _ = _run("helmholtz", n_nodes=4, hier=False)
+    master = rt.dsm.nodes[0]
+    released = master._bar_released
+    assert released >= 0
+    rx_before = master.stats.barrier_arrivals_rx
+
+    for epoch in (0, released):
+        _late_arrival(master, epoch, (1, {}))
+        assert epoch not in master._bar_arrivals
+
+    assert master._bar_arrivals == {}
+    assert master.stats.barrier_arrivals_rx == rx_before
+
+
+def test_late_arrival_dropped_in_tree_mode_too():
+    rt, _res, _ = _run("helmholtz", n_nodes=4, hier=True)
+    master = rt.dsm.nodes[0]
+    rx_before = master.stats.barrier_arrivals_rx
+
+    _late_arrival(master, master._bar_released, (1, {}, None, {}))
+    assert master._bar_agg == {}
+    assert master.stats.barrier_arrivals_rx == rx_before
+
+
+# ----------------------------------------------------------------------
+# chaos dup plan with the tree on: relay frames are deduped per hop
+# ----------------------------------------------------------------------
+def test_dup_plan_recovers_bit_identically_with_tree_barrier():
+    _, clean, _ = _run("helmholtz", n_nodes=4, hier=True)
+    _, dup, _ = _run("helmholtz", n_nodes=4, hier=True,
+                     fault_plan=plan_by_name("dup"), chaos_seed=0)
+    assert _value_digest(dup) == _value_digest(clean)
+    assert dup.chaos_stats["dups_injected"] > 0
+    assert dup.chaos_stats["dup_suppressed"] == dup.chaos_stats["dups_injected"]
+
+
+# ----------------------------------------------------------------------
+# lock sharding
+# ----------------------------------------------------------------------
+def test_spread_shard_scatters_low_lock_ids():
+    """The spread hash must use the product's high bits: an odd
+    multiplier reduced mod a power-of-two node count degenerates to the
+    modulo mapping (2654435761 is 1 mod 16)."""
+    rt = ParadeRuntime(n_nodes=8, pool_bytes=1 << 20, hierarchical=True)
+    node = rt.dsm.nodes[0]
+    spread = [node.lock_directory_of(i) for i in range(8)]
+    assert all(0 <= h < 8 for h in spread)
+    assert spread != list(range(8))  # not the modulo mapping
+    assert len(set(spread)) > 2  # genuinely scattered
+
+
+def _critical_program(ctx):
+    log = []
+
+    def body(tc):
+        def crit():
+            log.append(tc.tid)
+            yield tc.sim.timeout(1e-6)
+            return None
+
+        yield from tc.critical_region(crit, name="mysec")
+
+    yield from ctx.parallel(body)
+    return log
+
+
+@pytest.mark.parametrize("shard", ["modulo", "spread", "locality"])
+def test_critical_region_serialises_under_every_shard_mode(shard):
+    from repro.dsm.config import PARADE_DSM
+
+    rt = ParadeRuntime(
+        n_nodes=4, pool_bytes=1 << 20,
+        dsm_config=PARADE_DSM.replace(lock_shard=shard),
+    )
+    res = rt.run(_critical_program)
+    assert sorted(res.value) == list(range(8))
+    assert res.dsm_stats["lock_acquires"] == 8
+    assert res.dsm_stats["lock_grants"] == 8
+    if shard == "locality":
+        # the first toucher was assigned as manager; grants taught the
+        # other clients where the lock lives
+        assert any(dn._lock_assign for dn in rt.dsm.nodes)
+        assert any(dn._lock_home for dn in rt.dsm.nodes)
+
+
+def test_locality_shard_caches_manager_at_clients():
+    from repro.dsm.config import PARADE_DSM
+
+    rt = ParadeRuntime(
+        n_nodes=4, pool_bytes=1 << 20,
+        dsm_config=PARADE_DSM.replace(lock_shard="locality"),
+    )
+    rt.run(_critical_program)
+    managers = {m for dn in rt.dsm.nodes for m in dn._lock_home.values()}
+    owners = {mgr for dn in rt.dsm.nodes for mgr in dn._lock_assign.values()}
+    assert len(managers) == 1  # every client learned the same manager
+    assert managers == owners  # and it is the assigned first toucher
+
+
+# ----------------------------------------------------------------------
+# every stats counter must be documented
+# ----------------------------------------------------------------------
+def test_every_dsm_stats_key_is_documented():
+    """The DsmNodeStats docstring table and RunResult's stats prose are
+    the stats contract; a counter that isn't named there is invisible to
+    users.  Every ``as_dict`` key must appear in both docstrings (the
+    scale-out counters included)."""
+    from repro.dsm.node import DsmNodeStats
+    from repro.runtime.results import RunResult
+
+    keys = set(DsmNodeStats().as_dict())
+    assert {
+        "barrier_arrivals_rx", "barrier_relays", "notices_merged",
+        "lock_grants", "lock_remote_grants",
+    } <= keys
+    for key in keys:
+        assert key in DsmNodeStats.__doc__, f"{key} missing from stats table"
+    for key in ("barrier_relays", "notices_merged", "barrier_arrivals_rx",
+                "lock_grants", "lock_remote_grants"):
+        assert key in RunResult.__doc__, f"{key} missing from RunResult docs"
