@@ -4,7 +4,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test test-slow lint bench-smoke bench-gate scale-smoke profile-smoke chaos-smoke bench perf-baseline perf micro
+.PHONY: test test-slow lint bench-smoke bench-gate scale-smoke profile-smoke chaos-smoke metrics-smoke bench perf-baseline perf micro
 
 test:            ## tier-1 suite
 	python -m pytest -q
@@ -30,6 +30,9 @@ profile-smoke:   ## virtual-time profiler invariant check on one workload
 
 chaos-smoke:     ## fault-injection sweep: bit-identical recovery on a small matrix
 	python -m repro.chaos --sweep --nodes 2 --apps helmholtz --plans drop,dup
+
+metrics-smoke:   ## watchdog self-check + metered bit-identity + export round-trip
+	python -m repro.metrics smoke
 
 bench:           ## regenerate every paper figure
 	python -m pytest benchmarks/ --benchmark-only

@@ -49,13 +49,37 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional
 
-#: output schema version
-SCHEMA = 1
+#: output schema version.  2 added per-section run metadata (``meta``:
+#: python/platform/machine/nodes/flags) so the metrics watchdog
+#: (``python -m repro.metrics regress``) can refuse apples-to-oranges
+#: comparisons; schema-1 files load fine, their sections just carry no
+#: ``meta`` and the watchdog downgrades the environment check to a warning.
+SCHEMA = 2
 
 #: default output files (written into the current working directory,
 #: normally the repo root)
 DEFAULT_OUT = "BENCH_parade.json"
 SMOKE_OUT = "BENCH_smoke.json"
+
+
+def run_meta(n_nodes: int, accel: bool = False, smoke: bool = False) -> Dict[str, object]:
+    """Environment fingerprint stored next to each recorded section.
+
+    The keys mirror ``repro.metrics.regress.META_KEYS``: two sections
+    whose fingerprints differ on any of them were not measured under
+    comparable conditions, and the watchdog refuses to band their wall
+    times against each other.
+    """
+    import platform as _platform
+
+    return {
+        "python": _platform.python_version(),
+        "platform": sys.platform,
+        "machine": _platform.machine(),
+        "nodes": n_nodes,
+        "accel": accel,
+        "smoke": smoke,
+    }
 
 
 def _full_basket() -> Dict[str, dict]:
@@ -577,9 +601,17 @@ def run_scale_gate(report: dict) -> int:
 
 
 def load_report(path: str) -> dict:
+    """Load a perf report of any schema version.
+
+    Schema-1 files (no per-section ``meta``) load unchanged — consumers
+    must treat ``meta`` as optional.  A missing file yields an empty
+    report, ready to receive its first section.
+    """
     if os.path.exists(path):
         with open(path) as fh:
-            return json.load(fh)
+            report = json.load(fh)
+        report.setdefault("schema", 1)
+        return report
     return {}
 
 
@@ -673,6 +705,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     report["workloads"] = {k: v["note"] for k, v in basket(args.smoke).items()}
     report[section] = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "meta": run_meta(args.nodes, accel=args.accel, smoke=args.smoke),
         "results": results,
     }
     if args.accel:

@@ -88,6 +88,9 @@ class Network:
                 "net", "msg-send", node=src, dst=dst, nbytes=nbytes,
                 tag=str(tag), seq=msg.seq,
             )
+        mx = self.sim.metrics
+        if mx is not None:
+            mx.on_net_send(src, dst, nbytes)
 
         if src == dst:
             # Loopback: no NIC, just a copy cost, delivered immediately.
@@ -102,6 +105,8 @@ class Network:
                     "net", "msg-deliver", node=dst, tid="wire",
                     src=src, nbytes=nbytes, tag=str(tag), seq=msg.seq,
                 )
+            if mx is not None:
+                mx.on_net_deliver(src, dst, nbytes, self.sim.now - msg.send_time)
             node.inbox.put(msg)
             return msg
 
@@ -174,6 +179,11 @@ class Network:
             tr.instant(
                 "net", "msg-deliver", node=msg.dst, tid="wire",
                 src=msg.src, nbytes=msg.nbytes, tag=str(msg.tag), seq=msg.seq,
+            )
+        mx = self.sim.metrics
+        if mx is not None:
+            mx.on_net_deliver(
+                msg.src, msg.dst, msg.nbytes, self.sim.now - msg.send_time
             )
         node.inbox.put(msg)
 

@@ -387,6 +387,9 @@ class DsmNode:
         # scan detector — a fault on the successor of the last fetched
         # page asks the home to trail further contiguous pages)
         self._last_fetched_page = -2
+        # grant time of locks this node currently holds; feeds the
+        # metrics layer's lock-hold histogram (grant-to-release)
+        self._lock_grant_t: Dict[int, float] = {}
 
         self.stats = DsmNodeStats()
 
@@ -1420,6 +1423,9 @@ class DsmNode:
         finally:
             if prof is not None:
                 prof.pop()
+            mx = self.sim.metrics
+            if mx is not None:
+                mx.on_barrier_epoch(self.id, self.sim.now - bar_t0)
 
     def _barrier_body(self, epoch: int, tr, bar_t0: float):
         flushed = yield from self._flush_dirty(epoch=epoch)
@@ -1903,6 +1909,10 @@ class DsmNode:
             prof.on_lock_acquired(
                 lock_id, self.sim.now - t0, remote=manager != self.id
             )
+        mx = self.sim.metrics
+        if mx is not None:
+            mx.on_lock_wait(lock_id, self.sim.now - t0)
+            self._lock_grant_t[lock_id] = self.sim.now
         san = self.sim.san
         if san is not None:
             san.on_lock_acquire(("dsm-lock", lock_id))
@@ -1978,6 +1988,11 @@ class DsmNode:
         manager = self.lock_manager_of(lock_id)
         tr = self.sim.trace
         t0 = self.sim.now
+        mx = self.sim.metrics
+        if mx is not None:
+            grant_t = self._lock_grant_t.pop(lock_id, None)
+            if grant_t is not None:
+                mx.on_lock_hold(lock_id, t0 - grant_t)
         san = self.sim.san
         if san is not None:
             san.on_lock_release(("dsm-lock", lock_id))

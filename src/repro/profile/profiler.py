@@ -39,6 +39,7 @@ from repro.profile.phases import (
     group_of,
     node_of_tid,
 )
+from repro.util.tables import percentile
 
 #: an emitted interval: (t0, t1, tid, phase, active)
 Interval = Tuple[float, float, str, str, bool]
@@ -334,15 +335,7 @@ class Profiler:
         )
 
 
-def percentile(sorted_vals: List[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending list (deterministic)."""
-    if not sorted_vals:
-        return 0.0
-    if q <= 0:
-        return sorted_vals[0]
-    if q >= 100:
-        return sorted_vals[-1]
-    import math
-
-    rank = max(1, math.ceil(q / 100.0 * len(sorted_vals)))
-    return sorted_vals[rank - 1]
+#: nearest-rank percentile — re-exported from :mod:`repro.util.tables`,
+#: shared with the metrics scorecard so the hot-lock table and the live
+#: histograms agree on the definition
+__all__ = ["Profiler", "LockStats", "PageStats", "percentile"]

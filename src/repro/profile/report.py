@@ -15,15 +15,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.profile.phases import ALL_GROUPS, ALL_PHASES, group_of
-from repro.profile.profiler import Profiler, percentile
+from repro.profile.profiler import Profiler
 from repro.profile.critical_path import compute_critical_path
+from repro.util.tables import fmt_us as _fmt_us, percentile
 
 #: wait-time histogram percentiles reported per lock
 LOCK_PERCENTILES = (50, 90, 99)
-
-
-def _fmt_us(seconds: float) -> str:
-    return f"{seconds * 1e6:,.1f}"
 
 
 class ProfileReport:

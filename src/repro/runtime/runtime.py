@@ -64,6 +64,13 @@ class ParadeRuntime:
         (plan, seed) pair reproduces every fault bit-for-bit)
     reliability : optional :class:`~repro.chaos.ReliabilityConfig`
         overriding the plan's ack/retransmit tuning
+    metrics : attach a live :class:`~repro.metrics.Metrics` with the
+        stock per-layer sources installed (available as :attr:`metrics`,
+        finalized automatically when :meth:`run` returns).  ``None``
+        (the default) defers to the ``PARADE_METRICS`` environment
+        variable: set it to ``1``/``true``/``yes`` to meter any run
+        without touching its driver
+    metrics_period : sampling grid spacing in virtual seconds
     """
 
     def __init__(
@@ -81,6 +88,8 @@ class ParadeRuntime:
         fault_plan=None,
         chaos_seed: int = 0,
         reliability=None,
+        metrics: Optional[bool] = None,
+        metrics_period: float = 1e-4,
     ):
         if mode not in ("parade", "sdsm"):
             raise ValueError(f"mode must be 'parade' or 'sdsm', got {mode!r}")
@@ -126,6 +135,18 @@ class ParadeRuntime:
                 self.sim, fault_plan, seed=chaos_seed, reliability=reliability
             )
             self.chaos.install(self.cluster)
+        self.metrics = None
+        if metrics is None:
+            import os
+
+            metrics = os.environ.get("PARADE_METRICS", "").lower() in (
+                "1", "true", "yes", "on",
+            )
+        if metrics:
+            from repro.metrics import Metrics, install_default_sources
+
+            self.metrics = Metrics(self.sim, period=metrics_period)
+            install_default_sources(self.metrics, self)
         from repro.runtime.dynamic import DynamicScheduler
 
         self.dynamic_scheduler = DynamicScheduler(self)
@@ -307,6 +328,8 @@ class ParadeRuntime:
         self._finished = True
         if self.profiler is not None:
             self.profiler.finalize()
+        if self.metrics is not None:
+            self.metrics.finalize()
         profile = []
         for n in self.cluster.nodes:
             busy = n.cpus.total_busy_time

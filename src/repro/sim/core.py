@@ -70,6 +70,10 @@ class Simulator:
         #: and comm threads guard on this being None, so a chaos-free run
         #: pays one load and one compare per message.
         self.chaos = None
+        #: attached :class:`repro.metrics.Metrics`, or None.  Same
+        #: zero-cost-when-detached contract as :attr:`trace`; the step
+        #: loop below and hook sites across the stack guard on it.
+        self.metrics = None
         #: the :class:`Process` currently advancing its generator; tracing
         #: uses its label as the emitting track ("thread") name.
         self.active_process = None
@@ -131,6 +135,9 @@ class Simulator:
         tr = self.trace
         if tr is not None:
             tr.on_step(len(heap) + len(urg) + len(imm))
+        mx = self.metrics
+        if mx is not None:
+            mx.on_step(t, len(heap) + len(urg) + len(imm))
         for cb in callbacks:
             cb(event)
         if not event._ok and not event._defused:

@@ -1,0 +1,5 @@
+"""Small shared utilities used by more than one subsystem."""
+
+from repro.util.tables import fmt_us, percentile, render_table
+
+__all__ = ["fmt_us", "percentile", "render_table"]

@@ -1,0 +1,70 @@
+"""Shared quantile / table-formatting helpers.
+
+Both the profiler report (:mod:`repro.profile.report`) and the metrics
+scorecard (:mod:`repro.metrics.scorecard`) render fixed-width text tables
+with microsecond columns and nearest-rank percentiles.  The helpers live
+here so the two renderings cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+
+def fmt_us(seconds: float) -> str:
+    """Render virtual *seconds* as a microsecond figure (``1,234.5``)."""
+    return f"{seconds * 1e6:,.1f}"
+
+
+def percentile(sorted_vals: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (deterministic).
+
+    ``q`` is in percent (50 = median).  Empty input yields 0.0; ``q`` at
+    or past the ends clamps to the extreme elements.
+    """
+    if not sorted_vals:
+        return 0.0
+    if q <= 0:
+        return sorted_vals[0]
+    if q >= 100:
+        return sorted_vals[-1]
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_vals)))
+    return sorted_vals[rank - 1]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    align: str = "",
+    pad: int = 2,
+) -> List[str]:
+    """Fixed-width text table: header line, rule, one line per row.
+
+    *align* holds one character per column — ``<`` (left) or ``>``
+    (right); missing positions default to right-aligned, which suits the
+    numeric columns both consumers mostly print.  Column widths are the
+    max of header and cell widths, separated by *pad* spaces.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(c))
+            else:
+                widths.append(len(c))
+    aligns = [align[i] if i < len(align) else ">" for i in range(len(widths))]
+    sep = " " * pad
+
+    def line(row: Sequence[str]) -> str:
+        out = []
+        for i, w in enumerate(widths):
+            c = row[i] if i < len(row) else ""
+            out.append(c.ljust(w) if aligns[i] == "<" else c.rjust(w))
+        return sep.join(out).rstrip()
+
+    lines = [line(list(headers))]
+    lines.append("-" * len(lines[0]))
+    lines.extend(line(row) for row in cells)
+    return lines

@@ -30,6 +30,7 @@ GUIDES = (
     "PROFILING.md",
     "RELIABILITY.md",
     "PERFORMANCE.md",
+    "METRICS.md",
 )
 
 

@@ -1,0 +1,113 @@
+"""Exposition-format tests: Prometheus, JSON dump, CSV, Chrome counters.
+
+The acceptance bar: the Prometheus text parses and round-trips, the JSON
+dump survives export -> load unchanged, and a loaded dump exports
+byte-identically to the live one.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.apps import helmholtz
+from repro.metrics import export as mexport
+from repro.runtime import ParadeRuntime
+
+
+@pytest.fixture(scope="module")
+def dump():
+    rt = ParadeRuntime(n_nodes=2, pool_bytes=1 << 20, metrics=True)
+    rt.run(helmholtz.make_program(n=16, m=16, max_iters=2))
+    return rt.metrics.dump(meta={"app": "helmholtz-tiny", "nodes": 2})
+
+
+def test_prometheus_parses_and_prefixes(dump):
+    text = mexport.to_prometheus(dump)
+    parsed = mexport.parse_prometheus(text)
+    assert parsed, "exposition yielded no samples"
+    assert all(name.startswith("parade_") for name, _ in parsed)
+
+
+def test_prometheus_histogram_lines_are_cumulative(dump):
+    text = mexport.to_prometheus(dump)
+    parsed = mexport.parse_prometheus(text)
+    hist = [inst for inst in dump["instruments"] if inst["kind"] == "histogram"]
+    assert hist, "run produced no histograms"
+    for inst in hist:
+        name = mexport.prom_name(inst["name"])
+        base = tuple(sorted(dict(inst.get("labels", {})).items()))
+        rows = sorted(
+            (float("inf") if dict(labels)["le"] == "+Inf" else float(dict(labels)["le"]), v)
+            for (n, labels) in parsed
+            if n == f"{name}_bucket"
+            and tuple(sorted((k, lv) for k, lv in labels if k != "le")) == base
+            for v in [parsed[(n, labels)]]
+        )
+        counts = [c for _, c in rows]
+        assert counts == sorted(counts), f"{name} buckets not cumulative"
+        assert rows[-1] == (float("inf"), inst["count"])
+        assert parsed[(f"{name}_count", base)] == inst["count"]
+        assert parsed[(f"{name}_sum", base)] == pytest.approx(inst["sum"])
+
+
+def test_prometheus_parser_rejects_garbage():
+    with pytest.raises(ValueError):
+        mexport.parse_prometheus("parade_ok 1\nthis is not exposition format\n")
+
+
+def test_prom_name_sanitises():
+    assert mexport.prom_name("cluster/node0/cpu_busy") == "parade_cluster_node0_cpu_busy"
+    assert mexport.prom_name("net/link/0->1/msgs") == "parade_net_link_0_1_msgs"
+
+
+def test_json_dump_round_trip(tmp_path, dump):
+    path = tmp_path / "m.json"
+    mexport.write_dump(dump, str(path))
+    loaded = mexport.load_dump(str(path))
+    assert loaded == json.loads(json.dumps(dump))
+    # a loaded dump exports byte-identically to the live one
+    assert mexport.to_prometheus(loaded) == mexport.to_prometheus(dump)
+    assert mexport.to_csv(loaded) == mexport.to_csv(dump)
+
+
+def test_load_dump_rejects_non_dumps(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"foo": 1}')
+    with pytest.raises(ValueError):
+        mexport.load_dump(str(bad))
+
+
+def test_csv_shape(dump):
+    lines = mexport.to_csv(dump).splitlines()
+    assert lines[0] == "series,time,value"
+    n_points = sum(len(s["t"]) for s in dump["series"].values())
+    assert len(lines) == 1 + n_points
+    series, t, v = lines[1].split(",")
+    assert series in dump["series"]
+    float(t), float(v)  # both cells numeric
+
+
+def test_chrome_counter_events(dump, tmp_path):
+    events = mexport.to_chrome_events(dump)
+    n_points = sum(len(s["t"]) for s in dump["series"].values())
+    assert len(events) == n_points
+    assert all(ev.ph == "C" for ev in events)
+    assert all(ev.name.startswith("metrics/") for ev in events)
+    ts = [ev.ts for ev in events]
+    assert ts == sorted(ts)
+    out = tmp_path / "trace.json"
+    n = mexport.write_chrome(dump, str(out))
+    assert n >= len(events)  # plus the writer's metadata records
+    with open(out) as fh:
+        doc = json.load(fh)
+    assert len(doc["traceEvents"]) == n
+
+
+def test_fmt_value_canonical():
+    assert mexport._fmt_value(3.0) == "3"
+    assert mexport._fmt_value(float("inf")) == "+Inf"
+    assert mexport._fmt_value(0.5) == "0.5"
+    assert not math.isnan(float(mexport._fmt_value(1e-9)))
