@@ -1,38 +1,49 @@
 # Development targets.  Everything runs from the repo root and needs only
 # the baked-in toolchain (numpy/scipy/pytest; ruff if installed).
+#
+# Sweep targets fan out across fleet worker processes (JOBS, default:
+# PARADE_JOBS env or cpu count) and the gates memoise runs in the
+# content-addressed cache under .parade-cache/ — see docs/FLEET.md.
 
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test test-slow lint bench-smoke bench-gate scale-smoke profile-smoke chaos-smoke metrics-smoke bench perf-baseline perf micro
+# fleet worker count for the sweep/gate targets; empty = auto (cpu count)
+JOBS ?=
+JOBS_FLAG := $(if $(JOBS),--jobs $(JOBS),)
 
-test:            ## tier-1 suite
-	python -m pytest -q
+.PHONY: test test-slow lint bench-smoke bench-gate scale-smoke fleet-smoke profile-smoke chaos-smoke metrics-smoke bench perf-baseline perf micro
+
+test:            ## tier-1 suite (the ROADMAP verify command)
+	python -m pytest -x -q
 
 test-slow:       ## include NPB class-S reference validations
-	python -m pytest -q -m "slow or not slow"
+	python -m pytest -x -q -m "slow or not slow"
 
 lint:            ## ruff (config in pyproject.toml); no-op if not installed
 	@command -v ruff >/dev/null 2>&1 && ruff check src tests benchmarks \
 		|| echo "ruff not installed; skipping lint"
 
 bench-smoke:     ## perf harness on the tiny basket (regression check)
-	python -m repro.bench.perf --smoke --repeat 1
+	python -m repro.bench.perf --smoke --repeat 1 $(JOBS_FLAG)
 
 bench-gate:      ## accel basket vs checked-in baseline; fails on >5% virtual-time regression
-	python -m repro.bench.perf --gate
+	python -m repro.bench.perf --gate $(JOBS_FLAG)
 
 scale-smoke:     ## 16-node mini-basket, flat vs tree barrier + sharded locks
-	python -m repro.bench.perf --scale --smoke --scale-nodes 16 --out BENCH_smoke.json
+	python -m repro.bench.perf --scale --smoke --scale-nodes 16 --out BENCH_smoke.json $(JOBS_FLAG)
+
+fleet-smoke:     ## fleet executor contracts: worker bit-identity, warm cache, poisoned digest
+	python -m repro.fleet --selfcheck $(JOBS_FLAG)
 
 profile-smoke:   ## virtual-time profiler invariant check on one workload
 	python -m repro.profile helmholtz --check
 
 chaos-smoke:     ## fault-injection sweep: bit-identical recovery on a small matrix
-	python -m repro.chaos --sweep --nodes 2 --apps helmholtz --plans drop,dup
+	python -m repro.chaos --sweep --nodes 2 --apps helmholtz --plans drop,dup $(JOBS_FLAG)
 
 metrics-smoke:   ## watchdog self-check + metered bit-identity + export round-trip
-	python -m repro.metrics smoke
+	python -m repro.metrics smoke $(JOBS_FLAG)
 
 bench:           ## regenerate every paper figure
 	python -m pytest benchmarks/ --benchmark-only

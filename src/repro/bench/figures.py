@@ -9,9 +9,8 @@ benchmarks in ``benchmarks/``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
-from repro.cluster import ClusterConfig
 from repro.runtime import (
     ParadeRuntime,
     ExecConfig,
@@ -29,37 +28,48 @@ DEFAULT_NODES = (1, 2, 4, 8)
 def registered_programs() -> Dict[str, dict]:
     """Registry of runnable figure workloads, by name.
 
-    Each entry maps to ``{"factory": () -> program, "pool_bytes": int,
+    Each entry maps to ``{"factory": () -> program, "factory_ref":
+    (module, function), "factory_kwargs": dict, "pool_bytes": int,
     "figure": str, "note": str}`` with scaled-down default sizes suitable
-    for interactive runs.  Consumed by the tracing CLI
-    (``python -m repro.trace``) and usable by any future bench driver;
-    the full-size figure sweeps remain the ``figN_*`` functions above.
+    for interactive runs.  ``factory`` is the in-process callable;
+    ``factory_ref`` + ``factory_kwargs`` are the serializable form the
+    fleet executor ships to worker processes
+    (:meth:`repro.fleet.RunSpec.from_entry`).  Consumed by the tracing
+    CLI (``python -m repro.trace``), the chaos sweep, the sanitizer
+    sweep, and the fleet; the full-size figure sweeps remain the
+    ``figN_*`` functions above.
     """
+    from repro.fleet.spec import make_entry
+
     return {
-        "helmholtz": {
-            "factory": lambda: helmholtz.make_program(n=48, m=48, max_iters=3),
-            "pool_bytes": 1 << 21,
-            "figure": "fig10",
-            "note": "Helmholtz/Jacobi 48x48, 3 iterations",
-        },
-        "ep": {
-            "factory": lambda: ep.make_program("T"),
-            "pool_bytes": 1 << 20,
-            "figure": "fig9",
-            "note": "NAS EP class T",
-        },
-        "cg": {
-            "factory": lambda: cg.make_program("S", niter=1),
-            "pool_bytes": 1 << 23,
-            "figure": "fig8",
-            "note": "NAS CG class S, 1 outer iteration",
-        },
-        "md": {
-            "factory": lambda: md.make_program(n_particles=48, steps=2),
-            "pool_bytes": 1 << 21,
-            "figure": "fig11",
-            "note": "MD 48 particles, 2 steps",
-        },
+        "helmholtz": make_entry(
+            ("repro.apps.helmholtz", "make_program"),
+            {"n": 48, "m": 48, "max_iters": 3},
+            pool_bytes=1 << 21,
+            note="Helmholtz/Jacobi 48x48, 3 iterations",
+            figure="fig10",
+        ),
+        "ep": make_entry(
+            ("repro.apps.ep", "make_program"),
+            {"klass": "T"},
+            pool_bytes=1 << 20,
+            note="NAS EP class T",
+            figure="fig9",
+        ),
+        "cg": make_entry(
+            ("repro.apps.cg", "make_program"),
+            {"klass": "S", "niter": 1},
+            pool_bytes=1 << 23,
+            note="NAS CG class S, 1 outer iteration",
+            figure="fig8",
+        ),
+        "md": make_entry(
+            ("repro.apps.md", "make_program"),
+            {"n_particles": 48, "steps": 2},
+            pool_bytes=1 << 21,
+            note="MD 48 particles, 2 steps",
+            figure="fig11",
+        ),
     }
 
 

@@ -37,6 +37,16 @@ and ``bytes_sent`` are exact run invariants (the harness asserts this across
 repeats); only ``wall_s`` carries host noise, which ``--repeat`` (best-of)
 suppresses.
 
+Every mode fans its independent runs across ``--jobs`` fleet worker
+processes (``PARADE_JOBS`` env, default cpu count; see
+:mod:`repro.fleet` and docs/FLEET.md) — worker runs are bit-identical
+to in-process runs, so results never depend on the job count.  The
+gate modes additionally memoise runs in the content-addressed run
+cache under ``.parade-cache/`` (disable with ``--no-cache`` /
+``PARADE_CACHE=0``): a re-run over an unchanged source tree replays
+from cache with zero re-simulations, and the hit/miss counters are
+printed with the gate output.
+
 See ``docs/PERFORMANCE.md`` for how to read the output file.
 """
 
@@ -47,7 +57,7 @@ import json
 import os
 import sys
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 #: output schema version.  2 added per-section run metadata (``meta``:
 #: python/platform/machine/nodes/flags) so the metrics watchdog
@@ -62,13 +72,14 @@ DEFAULT_OUT = "BENCH_parade.json"
 SMOKE_OUT = "BENCH_smoke.json"
 
 
-def run_meta(n_nodes: int, accel: bool = False, smoke: bool = False) -> Dict[str, object]:
+def run_meta(n_nodes, accel: bool = False, smoke: bool = False) -> Dict[str, object]:
     """Environment fingerprint stored next to each recorded section.
 
     The keys mirror ``repro.metrics.regress.META_KEYS``: two sections
     whose fingerprints differ on any of them were not measured under
     comparable conditions, and the watchdog refuses to band their wall
-    times against each other.
+    times against each other.  *n_nodes* is an int for basket sections
+    and the node-count list for the scale sweep.
     """
     import platform as _platform
 
@@ -87,59 +98,70 @@ def _full_basket() -> Dict[str, dict]:
 
     Sizes are chosen so the simulation engine (not host numpy throughput
     of the application kernels) dominates, and a full run stays under a
-    few seconds per workload.
+    few seconds per workload.  Entries carry both the in-process
+    ``factory`` callable and the serializable ``factory_ref`` /
+    ``factory_kwargs`` pair the fleet executor ships to worker processes
+    (see :func:`repro.fleet.spec.make_entry`).
     """
-    from repro.apps import cg, ep, helmholtz, md
+    from repro.fleet.spec import make_entry
 
     return {
-        "helmholtz": {
-            "factory": lambda: helmholtz.make_program(n=160, m=160, max_iters=10),
-            "pool_bytes": 1 << 23,
-            "note": "Helmholtz/Jacobi 160x160, 10 iterations",
-        },
-        "cg": {
-            "factory": lambda: cg.make_program("S", niter=1),
-            "pool_bytes": 1 << 23,
-            "note": "NAS CG class S, 1 outer iteration",
-        },
-        "ep": {
-            "factory": lambda: ep.make_program("T"),
-            "pool_bytes": 1 << 20,
-            "note": "NAS EP class T",
-        },
-        "md": {
-            "factory": lambda: md.make_program(n_particles=128, steps=6),
-            "pool_bytes": 1 << 22,
-            "note": "MD 128 particles, 6 steps",
-        },
+        "helmholtz": make_entry(
+            ("repro.apps.helmholtz", "make_program"),
+            {"n": 160, "m": 160, "max_iters": 10},
+            pool_bytes=1 << 23,
+            note="Helmholtz/Jacobi 160x160, 10 iterations",
+        ),
+        "cg": make_entry(
+            ("repro.apps.cg", "make_program"),
+            {"klass": "S", "niter": 1},
+            pool_bytes=1 << 23,
+            note="NAS CG class S, 1 outer iteration",
+        ),
+        "ep": make_entry(
+            ("repro.apps.ep", "make_program"),
+            {"klass": "T"},
+            pool_bytes=1 << 20,
+            note="NAS EP class T",
+        ),
+        "md": make_entry(
+            ("repro.apps.md", "make_program"),
+            {"n_particles": 128, "steps": 6},
+            pool_bytes=1 << 22,
+            note="MD 128 particles, 6 steps",
+        ),
     }
 
 
 def _smoke_basket() -> Dict[str, dict]:
     """Tiny basket exercising every workload; for CI regression runs."""
-    from repro.apps import cg, ep, helmholtz, md
+    from repro.fleet.spec import make_entry
 
     return {
-        "helmholtz": {
-            "factory": lambda: helmholtz.make_program(n=24, m=24, max_iters=2),
-            "pool_bytes": 1 << 20,
-            "note": "smoke: Helmholtz 24x24, 2 iterations",
-        },
-        "cg": {
-            "factory": lambda: cg.make_program("T", niter=1),
-            "pool_bytes": 1 << 21,
-            "note": "smoke: NAS CG class T, 1 iteration",
-        },
-        "ep": {
-            "factory": lambda: ep.make_program("T"),
-            "pool_bytes": 1 << 20,
-            "note": "smoke: NAS EP class T",
-        },
-        "md": {
-            "factory": lambda: md.make_program(n_particles=24, steps=1),
-            "pool_bytes": 1 << 20,
-            "note": "smoke: MD 24 particles, 1 step",
-        },
+        "helmholtz": make_entry(
+            ("repro.apps.helmholtz", "make_program"),
+            {"n": 24, "m": 24, "max_iters": 2},
+            pool_bytes=1 << 20,
+            note="smoke: Helmholtz 24x24, 2 iterations",
+        ),
+        "cg": make_entry(
+            ("repro.apps.cg", "make_program"),
+            {"klass": "T", "niter": 1},
+            pool_bytes=1 << 21,
+            note="smoke: NAS CG class T, 1 iteration",
+        ),
+        "ep": make_entry(
+            ("repro.apps.ep", "make_program"),
+            {"klass": "T"},
+            pool_bytes=1 << 20,
+            note="smoke: NAS EP class T",
+        ),
+        "md": make_entry(
+            ("repro.apps.md", "make_program"),
+            {"n_particles": 24, "steps": 1},
+            pool_bytes=1 << 20,
+            note="smoke: MD 24 particles, 1 step",
+        ),
     }
 
 
@@ -160,32 +182,36 @@ def _scale_basket(smoke: bool = False) -> Dict[str, dict]:
     one lock/reduction-heavy solver, sized so the 32-node point still runs
     in seconds.  ep/md are omitted — their sync behaviour adds nothing the
     two cover."""
-    from repro.apps import cg, helmholtz
+    from repro.fleet.spec import make_entry
 
     if smoke:
         return {
-            "helmholtz": {
-                "factory": lambda: helmholtz.make_program(n=48, m=48, max_iters=3),
-                "pool_bytes": 1 << 21,
-                "note": "scale smoke: Helmholtz 48x48, 3 iterations",
-            },
-            "cg": {
-                "factory": lambda: cg.make_program("T", niter=1),
-                "pool_bytes": 1 << 21,
-                "note": "scale smoke: NAS CG class T, 1 iteration",
-            },
+            "helmholtz": make_entry(
+                ("repro.apps.helmholtz", "make_program"),
+                {"n": 48, "m": 48, "max_iters": 3},
+                pool_bytes=1 << 21,
+                note="scale smoke: Helmholtz 48x48, 3 iterations",
+            ),
+            "cg": make_entry(
+                ("repro.apps.cg", "make_program"),
+                {"klass": "T", "niter": 1},
+                pool_bytes=1 << 21,
+                note="scale smoke: NAS CG class T, 1 iteration",
+            ),
         }
     return {
-        "helmholtz": {
-            "factory": lambda: helmholtz.make_program(n=96, m=96, max_iters=6),
-            "pool_bytes": 1 << 23,
-            "note": "scale: Helmholtz 96x96, 6 iterations",
-        },
-        "cg": {
-            "factory": lambda: cg.make_program("S", niter=1),
-            "pool_bytes": 1 << 23,
-            "note": "scale: NAS CG class S, 1 iteration",
-        },
+        "helmholtz": make_entry(
+            ("repro.apps.helmholtz", "make_program"),
+            {"n": 96, "m": 96, "max_iters": 6},
+            pool_bytes=1 << 23,
+            note="scale: Helmholtz 96x96, 6 iterations",
+        ),
+        "cg": make_entry(
+            ("repro.apps.cg", "make_program"),
+            {"klass": "S", "niter": 1},
+            pool_bytes=1 << 23,
+            note="scale: NAS CG class S, 1 iteration",
+        ),
     }
 
 
@@ -198,6 +224,49 @@ def _scale_value_digest(value) -> str:
     return hashlib.sha256(canon.encode()).hexdigest()[:16]
 
 
+def _scale_spec(name: str, entry: dict, n_nodes: int, hier: bool):
+    """Fleet spec for one (workload, node count, topology) scale point —
+    profiler attached to the timed run, as the sweep always measured."""
+    from repro.fleet.spec import RunSpec
+
+    return RunSpec.from_entry(
+        name, entry, n_nodes=n_nodes, hier=hier, profile=True, observe_timed=True
+    )
+
+
+def _scale_point_record(rec: Dict[str, object]) -> Dict[str, object]:
+    """Map one fleet record onto the scale-point shape the report and the
+    scale gate consume (same fields :func:`measure_scale_point` always
+    reported; the hierarchical-sync counters come out of the summed
+    ``dsm_stats`` and the master node's stats)."""
+    thread_s = float(rec["thread_s"])
+    barrier_s = float(rec["barrier_s"])
+    lock_s = float(rec["lock_s"])
+    epochs = int(rec["epochs"])
+    master = rec["master_stats"]
+    dsm = rec["dsm_stats"]
+    return {
+        "wall_s": rec["wall_s"],
+        "virtual_s": rec["virtual_s"],
+        "msgs_sent": rec["msgs_sent"],
+        "bytes_sent": rec["bytes_sent"],
+        "barrier_s": barrier_s,
+        "lock_s": lock_s,
+        "barrier_frac": barrier_s / thread_s if thread_s else 0.0,
+        "lock_frac": lock_s / thread_s if thread_s else 0.0,
+        "epochs": epochs,
+        "master_arrivals_rx": master["barrier_arrivals_rx"],
+        "master_arrivals_per_epoch": (
+            master["barrier_arrivals_rx"] / epochs if epochs else 0.0
+        ),
+        "barrier_relays": dsm["barrier_relays"],
+        "notices_merged": dsm["notices_merged"],
+        "lock_grants": dsm["lock_grants"],
+        "lock_remote_grants": dsm["lock_remote_grants"],
+        "value_sha": str(rec["value_digest"])[:16],
+    }
+
+
 def measure_scale_point(
     spec: dict, n_nodes: int, hier: bool
 ) -> Dict[str, object]:
@@ -206,47 +275,14 @@ def measure_scale_point(
     Reports virtual time, message counts, the barrier / lock-wait phase
     shares of total thread time, and the hierarchical-sync counters —
     including the barrier arrival frames the master received per epoch,
-    the number the tree topology is there to cap at the fan-in.
+    the number the tree topology is there to cap at the fan-in.  Runs
+    through the shared fleet driver (:func:`repro.fleet.spec.execute`),
+    so the same measurement is cacheable and worker-dispatchable.
     """
-    from repro.profile import Profiler
-    from repro.profile.phases import PH_BARRIER, PH_LOCK_WAIT
-    from repro.runtime import ParadeRuntime
+    from repro.fleet.spec import execute
 
-    rt = ParadeRuntime(
-        n_nodes=n_nodes, pool_bytes=spec["pool_bytes"], hierarchical=hier
-    )
-    prof = Profiler(rt.sim, record_intervals=False)
-    t0 = time.perf_counter()
-    res = rt.run(spec["factory"]())
-    wall = time.perf_counter() - t0
-    prof.finalize()
-    totals = prof.totals()
-    thread_s = sum(totals.values())
-    barrier_s = totals.get(PH_BARRIER, 0.0)
-    lock_s = totals.get(PH_LOCK_WAIT, 0.0)
-    master = rt.dsm.nodes[0]
-    epochs = master._barrier_epoch
-    nodes = rt.dsm.nodes
-    return {
-        "wall_s": wall,
-        "virtual_s": res.elapsed,
-        "msgs_sent": rt.cluster.network.total_messages,
-        "bytes_sent": rt.cluster.network.total_bytes,
-        "barrier_s": barrier_s,
-        "lock_s": lock_s,
-        "barrier_frac": barrier_s / thread_s if thread_s else 0.0,
-        "lock_frac": lock_s / thread_s if thread_s else 0.0,
-        "epochs": epochs,
-        "master_arrivals_rx": master.stats.barrier_arrivals_rx,
-        "master_arrivals_per_epoch": (
-            master.stats.barrier_arrivals_rx / epochs if epochs else 0.0
-        ),
-        "barrier_relays": sum(n.stats.barrier_relays for n in nodes),
-        "notices_merged": sum(n.stats.notices_merged for n in nodes),
-        "lock_grants": sum(n.stats.lock_grants for n in nodes),
-        "lock_remote_grants": sum(n.stats.lock_remote_grants for n in nodes),
-        "value_sha": _scale_value_digest(res.value),
-    }
+    rec = execute(_scale_spec(spec.get("note", "workload"), spec, n_nodes, hier))
+    return _scale_point_record(rec)
 
 
 def _scale_aggregate(per_workload: Dict[str, Dict[str, object]]) -> Dict[str, object]:
@@ -268,6 +304,8 @@ def run_scale(
     smoke: bool = False,
     nodes: Optional[List[int]] = None,
     verbose: bool = True,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, object]:
     """The ``--scale`` sweep: flat vs hierarchical sync at each node count.
 
@@ -275,17 +313,40 @@ def run_scale(
     point (hierarchical sync moves messages and timing, never data), then
     records both sides so the curves in docs/PERFORMANCE.md "Scaling" are
     reproducible from the checked-in report.
+
+    All (workload x node count x topology) points are independent runs,
+    so they fan out across ``jobs`` fleet workers and memoise in *cache*
+    — the records come back in sweep order and every virtual-time number
+    is bit-identical to a sequential run.
     """
     from repro.dsm.config import PARADE_HIER
+    from repro.fleet import run_many
 
     node_counts = list(nodes or SCALE_NODES)
     bk = _scale_basket(smoke)
+    grid = [
+        (n, name, hier)
+        for n in node_counts
+        for name in bk
+        for hier in (False, True)
+    ]
+    specs = [_scale_spec(name, bk[name], n, hier) for n, name, hier in grid]
+    fleet = run_many(specs, jobs=jobs, cache=cache)
+    if verbose and (fleet.jobs > 1 or cache is not None):
+        print(f"  {fleet.summary()}")
+    for rec in fleet.failures():
+        raise AssertionError(
+            f"scale sweep: {rec['workload']} failed: {rec.get('error')}"
+        )
+    by_point = {
+        key: _scale_point_record(rec) for key, rec in zip(grid, fleet.records)
+    }
     points: Dict[str, Dict[str, object]] = {}
     for n in node_counts:
         per: Dict[str, Dict[str, Dict[str, object]]] = {"flat": {}, "hier": {}}
-        for name, spec in bk.items():
-            flat = measure_scale_point(spec, n, hier=False)
-            hier = measure_scale_point(spec, n, hier=True)
+        for name in bk:
+            flat = by_point[(n, name, False)]
+            hier = by_point[(n, name, True)]
             if flat["value_sha"] != hier["value_sha"]:
                 raise AssertionError(
                     f"{name}@{n} nodes: hierarchical sync changed the "
@@ -316,6 +377,10 @@ def run_scale(
             )
     return {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        # schema-2 environment fingerprint: without it the metrics
+        # watchdog can't guard this section (satellite of ISSUE 10 —
+        # scale-smoke used to write schema-1 reports)
+        "meta": run_meta(node_counts, smoke=smoke),
         "smoke": smoke,
         "fanin": PARADE_HIER.barrier_fanin,
         "lock_shard": PARADE_HIER.lock_shard,
@@ -410,6 +475,25 @@ def measure_workload(
     return best
 
 
+def _basket_record(rec: Dict[str, object]) -> Dict[str, object]:
+    """Map one fleet record onto the basket-record shape the report, the
+    speedup math and the bench gate consume."""
+    wall = float(rec["wall_s"])
+    out = {
+        "wall_s": wall,
+        "virtual_s": rec["virtual_s"],
+        "events": rec["events"],
+        "events_per_s": rec["events"] / wall if wall > 0 else 0.0,
+        "faults": rec["faults"],
+        "faults_per_s": rec["faults"] / wall if wall > 0 else 0.0,
+        "msgs_sent": rec["msgs_sent"],
+        "bytes_sent": rec["bytes_sent"],
+    }
+    if "phases" in rec:
+        out["phases"] = rec["phases"]
+    return out
+
+
 def run_basket(
     smoke: bool = False,
     n_nodes: int = 4,
@@ -417,16 +501,41 @@ def run_basket(
     workloads: Optional[List[str]] = None,
     verbose: bool = True,
     accel: bool = False,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, Dict[str, object]]:
-    """Measure every workload of the basket; returns {name: metrics}."""
+    """Measure every workload of the basket; returns {name: metrics}.
+
+    The basket fans out across ``jobs`` fleet worker processes (default:
+    in-process when 1).  Worker runs are bit-identical to in-process
+    runs, so every virtual-time number is independent of ``jobs``; only
+    ``wall_s`` (and the rates derived from it) carries host noise.
+    """
+    from repro.fleet import run_many
+    from repro.fleet.spec import RunSpec
+
     bk = basket(smoke)
     names = workloads or list(bk)
     unknown = [n for n in names if n not in bk]
     if unknown:
         raise KeyError(f"unknown workload(s) {unknown}; choose from {sorted(bk)}")
+    specs = [
+        RunSpec.from_entry(
+            name, bk[name], n_nodes=n_nodes, repeat=repeat, accel=accel, profile=True
+        )
+        for name in names
+    ]
+    fleet = run_many(specs, jobs=jobs, cache=cache)
+    if verbose and (fleet.jobs > 1 or cache is not None):
+        print(f"  {fleet.summary()}")
     results: Dict[str, Dict[str, object]] = {}
-    for name in names:
-        rec = measure_workload(bk[name], n_nodes=n_nodes, repeat=repeat, accel=accel)
+    for name, frec in zip(names, fleet.records):
+        if not frec.get("ok"):
+            raise AssertionError(
+                f"perf basket: {name} failed: {frec.get('error')}\n"
+                f"{frec.get('traceback', '')}"
+            )
+        rec = _basket_record(frec)
         results[name] = rec
         if verbose:
             ph = rec.get("phases") or {}
@@ -511,7 +620,12 @@ def compute_speedup(
 GATE_TOLERANCE = 0.05
 
 
-def run_gate(path: str = DEFAULT_OUT, n_nodes: Optional[int] = None) -> int:
+def run_gate(
+    path: str = DEFAULT_OUT,
+    n_nodes: Optional[int] = None,
+    jobs: Optional[int] = None,
+    no_cache: bool = False,
+) -> int:
     """Bench gate (``make bench-gate``): fail on virtual-time regression.
 
     Runs the full basket with the protocol accelerator on and compares
@@ -519,7 +633,16 @@ def run_gate(path: str = DEFAULT_OUT, n_nodes: Optional[int] = None) -> int:
     *path*.  Virtual time is deterministic, so one repeat suffices and
     host noise cannot flake the gate: any delta is a real protocol
     change.  Returns 0 if within :data:`GATE_TOLERANCE`, 1 otherwise.
+
+    The gate compares only deterministic virtual-time numbers, so its
+    runs are fleet-cached (keyed by spec + source-tree digest): an
+    unchanged tree re-runs the gate from cache with zero re-simulations.
+    The hit/miss counters are printed so cache poisoning would be
+    visible in CI logs; ``--no-cache`` / ``PARADE_CACHE=0`` bypasses.
     """
+    from repro.fleet import default_cache, run_many
+    from repro.fleet.spec import RunSpec
+
     report = load_report(path)
     ref = report.get("accel", {}).get("results")
     if not ref:
@@ -528,14 +651,25 @@ def run_gate(path: str = DEFAULT_OUT, n_nodes: Optional[int] = None) -> int:
         return 1
     nodes = n_nodes or int(report.get("nodes", 4))
     bk = _full_basket()
-    cur: Dict[str, Dict[str, object]] = {}
-    for name in ref:
-        if name not in bk:
-            print(f"bench-gate: baseline workload {name!r} missing from basket")
-            return 1
-        cur[name] = measure_workload(
-            bk[name], n_nodes=nodes, repeat=1, phases=False, accel=True
-        )
+    missing = [name for name in ref if name not in bk]
+    if missing:
+        print(f"bench-gate: baseline workload(s) {missing} missing from basket")
+        return 1
+    cache = default_cache(no_cache)
+    gate_names = list(ref)
+    specs = [
+        RunSpec.from_entry(name, bk[name], n_nodes=nodes, accel=True)
+        for name in gate_names
+    ]
+    fleet = run_many(specs, jobs=jobs, cache=cache)
+    print(f"  {fleet.summary()}")
+    for frec in fleet.failures():
+        print(f"bench-gate: {frec['workload']} failed: {frec.get('error')}")
+        return 1
+    cur = {
+        name: _basket_record(frec)
+        for name, frec in zip(gate_names, fleet.records)
+    }
     base_vt = aggregate_virtual_s(ref)
     cur_vt = aggregate_virtual_s(cur)
     ratio = cur_vt / base_vt if base_vt > 0 else float("inf")
@@ -550,14 +684,14 @@ def run_gate(path: str = DEFAULT_OUT, n_nodes: Optional[int] = None) -> int:
         print(f"bench-gate: FAIL — aggregate virtual time regressed "
               f"{(ratio - 1) * 100:.2f}% (> {GATE_TOLERANCE:.0%} tolerance)")
         return 1
-    scale_rc = run_scale_gate(report)
+    scale_rc = run_scale_gate(report, jobs=jobs, cache=cache)
     if scale_rc:
         return scale_rc
     print(f"bench-gate: OK (within {GATE_TOLERANCE:.0%} of baseline)")
     return 0
 
 
-def run_scale_gate(report: dict) -> int:
+def run_scale_gate(report: dict, jobs: Optional[int] = None, cache=None) -> int:
     """Barrier-path regression gate on the checked-in 16-node scale point.
 
     If the report carries a ``scale`` section with the
@@ -576,14 +710,28 @@ def run_scale_gate(report: dict) -> int:
     if not point:
         return 0
     bk = _scale_basket(smoke=bool(scale.get("smoke")))
-    per: Dict[str, Dict[str, object]] = {}
-    for name in point.get("per_workload", {}):
-        if name not in bk:
-            print(f"scale-gate: baseline workload {name!r} missing from basket")
-            return 1
-        per[name] = measure_scale_point(bk[name], SCALE_GATE_NODES, hier=True)
-    if not per:
+    gate_names = list(point.get("per_workload", {}))
+    missing = [name for name in gate_names if name not in bk]
+    if missing:
+        print(f"scale-gate: baseline workload(s) {missing} missing from basket")
+        return 1
+    if not gate_names:
         return 0
+    from repro.fleet import run_many
+
+    specs = [
+        _scale_spec(name, bk[name], SCALE_GATE_NODES, hier=True)
+        for name in gate_names
+    ]
+    fleet = run_many(specs, jobs=jobs, cache=cache)
+    print(f"  {fleet.summary()}")
+    for frec in fleet.failures():
+        print(f"scale-gate: {frec['workload']} failed: {frec.get('error')}")
+        return 1
+    per = {
+        name: _scale_point_record(frec)
+        for name, frec in zip(gate_names, fleet.records)
+    }
     cur = _scale_aggregate(per)
     for metric, label in (("virtual_s", "virtual time"),
                           ("barrier_s", "barrier-phase virtual time")):
@@ -670,19 +818,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="comma-separated subset of the basket (default: all)",
     )
+    ap.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="fleet worker processes (default: PARADE_JOBS env or cpu count); "
+        "virtual-time results are bit-identical for any value",
+    )
+    ap.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the fleet run cache (gate/scale modes; PARADE_CACHE=0 "
+        "does the same)",
+    )
     args = ap.parse_args(argv)
 
     out = args.out or (SMOKE_OUT if args.smoke else DEFAULT_OUT)
     if args.gate:
-        return run_gate(out, n_nodes=args.nodes if args.nodes != 4 else None)
+        return run_gate(
+            out,
+            n_nodes=args.nodes if args.nodes != 4 else None,
+            jobs=args.jobs,
+            no_cache=args.no_cache,
+        )
     if args.scale:
+        from repro.fleet import default_cache
+
         counts = (
             [int(x) for x in args.scale_nodes.split(",") if x]
             if args.scale_nodes else None
         )
         print(f"scale sweep ({'smoke' if args.smoke else 'full'} basket, "
               f"flat vs hierarchical) -> {out} [scale]")
-        section = run_scale(smoke=args.smoke, nodes=counts)
+        section = run_scale(
+            smoke=args.smoke,
+            nodes=counts,
+            jobs=args.jobs,
+            cache=default_cache(args.no_cache),
+        )
         report = load_report(out)
         report["schema"] = SCHEMA
         report["scale"] = section
@@ -693,9 +866,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"perf basket ({'smoke' if args.smoke else 'full'}"
           f"{', protocol accel' if args.accel else ''}) -> {out} [{section}]")
 
+    # recording modes never use the run cache: wall-clock freshness is the
+    # point of a recorded section, and a cached wall time would lie
     results = run_basket(
         smoke=args.smoke, n_nodes=args.nodes, repeat=args.repeat, workloads=names,
-        accel=args.accel,
+        accel=args.accel, jobs=args.jobs,
     )
 
     report = load_report(out)

@@ -87,6 +87,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "message kind in flight",
     )
     parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="fleet worker processes for --sweep (default: PARADE_JOBS env "
+        "or cpu count); results are bit-identical for any value",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the fleet run cache for --sweep (PARADE_CACHE=0 does "
+        "the same)",
+    )
+    parser.add_argument(
         "--hier", action="store_true",
         help="run with hierarchical synchronization on (tree barrier + "
         "sharded lock managers) — recovery must stay bit-identical with "
@@ -165,8 +175,40 @@ def _single(args, registry) -> int:
     return 0
 
 
+def _check_record(record: dict, base_record: dict, max_retries: int) -> List[str]:
+    """:func:`_check_run` over fleet records: same guarantees, checked on
+    the serialized run records the sweep executor returns (the value
+    comparison uses the records' SHA-256 value digests — equality of
+    digests is equality of the canonical values)."""
+    failures = []
+    if record["value_digest"] != base_record["value_digest"]:
+        failures.append("numerical result differs from the fault-free run")
+    cs = record["chaos_stats"]
+    lost = cs.get("drops", 0) + cs.get("flap_drops", 0) + cs.get("corrupts", 0)
+    if lost and not cs.get("retransmits", 0):
+        failures.append(f"{lost} frames lost but zero retransmits recorded")
+    if cs.get("max_attempts", 0) > max_retries + 1:
+        failures.append(
+            f"a frame took {cs['max_attempts']} attempts "
+            f"(bound is {max_retries + 1})"
+        )
+    san = record.get("sanitizer")
+    if san is not None and not san["ok"]:
+        failures.append(
+            f"sanitizer reported {san['n_findings']} finding(s) "
+            f"under injected faults"
+        )
+    return failures
+
+
 def _sweep(args, registry) -> int:
+    """The reliability gate, fleet-dispatched: the (app x plan) matrix —
+    plus each app's fault-free baseline — is a basket of independent
+    deterministic runs, so it fans out across ``--jobs`` worker
+    processes and memoises in the run cache; results and verdicts are
+    bit-identical for any job count."""
     from repro.chaos.plan import SWEEP_PLAN_NAMES, plan_by_name
+    from repro.fleet import RunSpec, default_cache, run_many
 
     apps = [a for a in args.apps.split(",") if a] or sorted(registry)
     plan_names = [p for p in args.plans.split(",") if p] or list(SWEEP_PLAN_NAMES)
@@ -177,25 +219,49 @@ def _sweep(args, registry) -> int:
             return 1
     plans = [plan_by_name(p) for p in plan_names]
 
+    def spec(app: str, plan_name=None) -> RunSpec:
+        return RunSpec.from_entry(
+            app,
+            registry[app],
+            n_nodes=args.nodes,
+            mode=args.mode,
+            accel=args.accel,
+            hier=args.hier,
+            fault_plan=plan_name,
+            chaos_seed=args.seed if plan_name else 0,
+            sanitize=args.sanitize and plan_name is not None,
+        )
+
+    grid = [(app, None) for app in apps] + [
+        (app, plan.name) for app in apps for plan in plans
+    ]
+    fleet = run_many(
+        [spec(app, plan_name) for app, plan_name in grid],
+        jobs=args.jobs,
+        cache=default_cache(args.no_cache),
+    )
+    print(fleet.summary())
+    records = dict(zip(grid, fleet.records))
+    for rec in fleet.failures():
+        print(f"FAIL: {rec['workload']} crashed: {rec.get('error')}",
+              file=sys.stderr)
+    if fleet.failures():
+        return 2
+
     width = max(len(a) for a in apps)
     ok = True
     for app in apps:
-        entry = registry[app]
-        base, _ = _run(entry, args.nodes, args.mode, accel=args.accel,
-                       hier=args.hier)
-        digest = _value_digest(base.value)
-        print(f"{app:<{width}}  fault-free: {base.elapsed * 1e3:9.3f} ms  "
-              f"({base.cluster_stats['total_messages']} msgs)")
+        base = records[(app, None)]
+        print(f"{app:<{width}}  fault-free: {base['virtual_s'] * 1e3:9.3f} ms  "
+              f"({base['msgs_sent']} msgs)")
         for plan in plans:
-            res, san = _run(entry, args.nodes, args.mode, plan=plan,
-                            seed=args.seed, sanitize=args.sanitize,
-                            accel=args.accel, hier=args.hier)
-            failures = _check_run(res, san, digest, plan.reliability.max_retries)
-            cs = res.chaos_stats
+            rec = records[(app, plan.name)]
+            failures = _check_record(rec, base, plan.reliability.max_retries)
+            cs = rec["chaos_stats"]
             lost = (cs.get("drops", 0) + cs.get("flap_drops", 0)
                     + cs.get("corrupts", 0))
             status = "ok" if not failures else "FAIL"
-            print(f"{'':<{width}}  {plan.name:<14} {res.elapsed * 1e3:9.3f} ms  "
+            print(f"{'':<{width}}  {plan.name:<14} {rec['virtual_s'] * 1e3:9.3f} ms  "
                   f"lost={lost:<3} retx={cs.get('retransmits', 0):<3} "
                   f"dup={cs.get('dup_suppressed', 0):<3} "
                   f"reseq={cs.get('reorder_buffered', 0):<3} {status}")

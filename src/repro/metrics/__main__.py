@@ -90,6 +90,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_smoke = sub.add_parser("smoke", help="CI gate: self-check + bit-identity + round-trip")
     p_smoke.add_argument("--nodes", type=int, default=2, help="cluster size (default 2)")
+    p_smoke.add_argument(
+        "--jobs", type=int, default=None,
+        help="fleet worker processes for the act-2 runs (default: PARADE_JOBS "
+        "env or cpu count); the verdict is bit-identical for any value",
+    )
     return parser
 
 
@@ -200,15 +205,16 @@ def _cmd_smoke(args) -> int:
     1. watchdog self-check — identical synthetic sections pass, a seeded
        regression fails on every axis, meta mismatches are refused;
     2. bit-identity — the tiny workload metered and unmetered must agree
-       on virtual time and every deterministic run statistic;
+       on virtual time and every deterministic run statistic (the two
+       runs are independent, so they fan out across ``--jobs`` fleet
+       worker processes);
     3. export round-trip — the metered dump survives JSON write/load,
        its Prometheus rendering parses, CSV and Chrome are non-empty.
     """
     import os
     import tempfile
 
-    from repro.apps import helmholtz
-    from repro.runtime import ParadeRuntime
+    from repro.fleet import RunSpec, run_many
 
     def fail(msg: str) -> int:
         print(f"SMOKE FAILED: {msg}", file=sys.stderr)
@@ -219,24 +225,40 @@ def _cmd_smoke(args) -> int:
         return fail(f"watchdog self-check: {fault}")
     print("smoke 1/3: watchdog self-check ok")
 
-    factory = lambda: helmholtz.make_program(n=24, m=24, max_iters=2)
-    pool = 1 << 21
-    plain = ParadeRuntime(n_nodes=args.nodes, pool_bytes=pool).run(factory())
-    metered, mx = meter_workload(factory, pool, n_nodes=args.nodes)
-    if plain.elapsed != metered.elapsed:
+    common = dict(
+        factory=("repro.apps.helmholtz", "make_program"),
+        factory_kwargs={"n": 24, "m": 24, "max_iters": 2},
+        n_nodes=args.nodes,
+        pool_bytes=1 << 21,
+    )
+    specs = [
+        RunSpec(workload="helmholtz-plain", **common),
+        # observe_timed: the metered run IS the measurement — its stats
+        # must come from the run with the sampler attached, or the
+        # comparison below would check an unmetered run against itself
+        RunSpec(workload="helmholtz-metered", metrics=True, observe_timed=True,
+                **common),
+    ]
+    fleet = run_many(specs, jobs=args.jobs)
+    for rec in fleet.failures():
+        return fail(f"{rec['workload']} crashed: {rec.get('error')}")
+    plain, metered = fleet.records
+    if plain["virtual_s"] != metered["virtual_s"]:
         return fail(f"virtual time moved under metering: "
-                    f"{plain.elapsed!r} != {metered.elapsed!r}")
+                    f"{plain['virtual_s']!r} != {metered['virtual_s']!r}")
     for group in ("cluster_stats", "dsm_stats"):
-        a, b = getattr(plain, group), getattr(metered, group)
+        a, b = plain[group], metered[group]
         diff = {k for k in set(a) | set(b) if a.get(k) != b.get(k)}
         if diff:
             return fail(f"{group} moved under metering: {sorted(diff)}")
-    if mx.n_samples == 0:
+    n_samples = metered["metrics"]["n_samples"]
+    if n_samples == 0:
         return fail("sampler took no samples on the smoke workload")
-    print(f"smoke 2/3: bit-identity ok (vt {metered.elapsed * 1e3:.3f} ms, "
-          f"{mx.n_samples} samples)")
+    print(f"smoke 2/3: bit-identity ok (vt {metered['virtual_s'] * 1e3:.3f} ms, "
+          f"{n_samples} samples)")
 
-    dump = mx.dump(meta={"app": "helmholtz-smoke", "nodes": args.nodes})
+    dump = dict(metered["metrics"]["dump"])
+    dump["meta"] = {"app": "helmholtz-smoke", "nodes": args.nodes}
     prom = mexport.to_prometheus(dump)
     parsed = mexport.parse_prometheus(prom)
     if not parsed:

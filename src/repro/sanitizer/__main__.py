@@ -59,6 +59,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "lock managers in flight (composes with --accel)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="fleet worker processes for --all (default: PARADE_JOBS env "
+        "or cpu count); findings are bit-identical for any value",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the fleet run cache for --all (PARADE_CACHE=0 does "
+        "the same)",
+    )
+    parser.add_argument(
         "--expect-races", action="store_true",
         help="invert the exit code: fail if NO race is found (for the "
         "seeded racy-* workloads)",
@@ -91,6 +101,61 @@ def _run_one(name: str, entry: dict, nodes: int, mode: str, exec_config,
     return san
 
 
+def _run_all(args, clean: dict, exec_config) -> int:
+    """The ``--all`` sweep, fleet-dispatched: every clean app is an
+    independent deterministic run, so the sweep fans out across
+    ``--jobs`` worker processes and memoises in the run cache.  The
+    sanitizer verdict (summary + findings) rides inside each run record,
+    so the output — and the exit code — is bit-identical for any job
+    count.  Records cap the reported finding list at 50; re-run a single
+    app for the full list."""
+    from repro.fleet import RunSpec, default_cache, run_many
+
+    targets = sorted(clean)
+    specs = [
+        RunSpec.from_entry(
+            name,
+            clean[name],
+            n_nodes=args.nodes,
+            mode=args.mode,
+            exec_name=exec_config.name,
+            accel=args.accel,
+            hier=args.hier,
+            sanitize=True,
+        )
+        for name in targets
+    ]
+    fleet = run_many(specs, jobs=args.jobs, cache=default_cache(args.no_cache))
+    print(fleet.summary())
+    for rec in fleet.failures():
+        print(f"FAIL: {rec['workload']} crashed: {rec.get('error')}",
+              file=sys.stderr)
+    if fleet.failures():
+        return 2
+
+    any_findings = False
+    for name, rec in zip(targets, fleet.records):
+        san = rec["sanitizer"]
+        label = f"{name}/{args.mode}/{args.nodes}n/{exec_config.name}"
+        print(f"{label}: elapsed {rec['virtual_s'] * 1e3:.3f} ms (virtual)")
+        print(san["summary"])
+        if not san["ok"]:
+            any_findings = True
+            findings = san["findings"] if args.verbose else san["findings"][:10]
+            for line in findings:
+                print(f"  {line}")
+            if san["n_findings"] > len(findings):
+                print(f"  ... and {san['n_findings'] - len(findings)} more (use -v)")
+
+    if args.expect_races:
+        if any_findings:
+            print("expected races: found — OK")
+            return 0
+        print("expected races but the run came back clean", file=sys.stderr)
+        return 2
+    return 2 if any_findings else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -117,18 +182,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
 
     if args.all:
-        targets = sorted(clean)
-    else:
-        if args.app not in registry:
-            print(
-                f"unknown app {args.app!r}; registered: {', '.join(sorted(registry))}",
-                file=sys.stderr,
-            )
-            return 1
-        targets = [args.app]
+        return _run_all(args, clean, exec_config)
+    if args.app not in registry:
+        print(
+            f"unknown app {args.app!r}; registered: {', '.join(sorted(registry))}",
+            file=sys.stderr,
+        )
+        return 1
 
     any_findings = False
-    for name in targets:
+    for name in [args.app]:
         san = _run_one(name, registry[name], args.nodes, args.mode, exec_config,
                        accel=args.accel, hier=args.hier)
         if not san.ok:

@@ -31,6 +31,7 @@ GUIDES = (
     "RELIABILITY.md",
     "PERFORMANCE.md",
     "METRICS.md",
+    "FLEET.md",
 )
 
 
